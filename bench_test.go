@@ -1,0 +1,340 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure. ns/op measures how fast the simulation runs on the host; the
+// reproduced quantities (virtual-time latencies, bandwidths, run times)
+// are attached as custom metrics so `go test -bench` output doubles as the
+// experiment record.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/bench"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+var opts = bench.Opts{Iters: 3}
+
+// --- Figure 1: Meiko transfer mechanisms ------------------------------
+
+func BenchmarkFigure1TransferMechanisms(b *testing.B) {
+	var cross int
+	for i := 0; i < b.N; i++ {
+		c, err := bench.Figure1Crossover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross = c
+	}
+	b.ReportMetric(float64(cross), "crossover_bytes")
+}
+
+func BenchmarkFigure1EagerRTT64B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 1<<20, 64, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+func BenchmarkFigure1RendezvousRTT64B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 1, 64, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+// --- Figure 2: Meiko round-trip latency -------------------------------
+
+func BenchmarkFigure2LowLatency1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 0, 1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt") // paper: 104
+}
+
+func BenchmarkFigure2MPICH1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoPingPong(pmeiko.MPICH, 0, 1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt") // paper: 210
+}
+
+func BenchmarkFigure2Tport1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.TportPingPong(1, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt") // paper: 52
+}
+
+// --- Figure 3: Meiko bandwidth ----------------------------------------
+
+func BenchmarkFigure3LowLatencyBandwidth(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoBandwidth(pmeiko.LowLatency, 256<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = v
+	}
+	b.ReportMetric(mbps, "virtual_MBps") // paper: ~39
+}
+
+func BenchmarkFigure3MPICHBandwidth(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.MeikoBandwidth(pmeiko.MPICH, 256<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = v
+	}
+	b.ReportMetric(mbps, "virtual_MBps")
+}
+
+// --- Figure 4: ATM raw transport latency ------------------------------
+
+func BenchmarkFigure4AAL4(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.RawAAL4PingPong(512, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+func BenchmarkFigure4TCPOverATM(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.RawTCPPingPong(atm.OverATM, 512, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+func BenchmarkFigure4UDPOverATM(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.RawUDPPingPong(atm.OverATM, 512, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+// --- Figure 5: TCP round-trip latency ---------------------------------
+
+func BenchmarkFigure5MPIOverTCPEthernet1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ClusterPingPong(pcluster.TCP, atm.OverEthernet, 1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+func BenchmarkFigure5MPIOverTCPATM1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ClusterPingPong(pcluster.TCP, atm.OverATM, 1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us_rtt")
+}
+
+func BenchmarkFigure5RawTCPEthernet1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.RawTCPPingPong(atm.OverEthernet, 1, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt") // paper: 925
+}
+
+func BenchmarkFigure5RawTCPATM1B(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.RawTCPPingPong(atm.OverATM, 1, 5)
+	}
+	b.ReportMetric(us, "virtual_us_rtt") // paper: 1065
+}
+
+// --- Table 1: overhead breakdown --------------------------------------
+
+func BenchmarkTable1Breakdown(b *testing.B) {
+	var tab bench.Table1Data
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab = t
+	}
+	for _, r := range tab.Rows {
+		_ = r
+	}
+	b.ReportMetric(tab.Rows[2].Eth, "readtype_eth_us") // paper: 65
+	b.ReportMetric(tab.Rows[2].ATM, "readtype_atm_us") // paper: 85
+	b.ReportMetric(tab.Rows[4].Eth, "match_us")        // paper: 35
+}
+
+// --- Figure 6: TCP bandwidth ------------------------------------------
+
+func BenchmarkFigure6MPIOverTCPATM(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ClusterBandwidth(pcluster.TCP, atm.OverATM, 64<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = v
+	}
+	b.ReportMetric(mbps, "virtual_MBps")
+}
+
+func BenchmarkFigure6MPIOverTCPEthernet(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ClusterBandwidth(pcluster.TCP, atm.OverEthernet, 64<<10, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = v
+	}
+	b.ReportMetric(mbps, "virtual_MBps")
+}
+
+// --- Figure 7: linear equation solver ---------------------------------
+
+func BenchmarkFigure7LinsolveLowLatency8P(b *testing.B) {
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.LinsolveMeiko(pmeiko.LowLatency, 8, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = v
+	}
+	b.ReportMetric(sec*1000, "virtual_ms")
+}
+
+func BenchmarkFigure7LinsolveMPICH8P(b *testing.B) {
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.LinsolveMeiko(pmeiko.MPICH, 8, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = v
+	}
+	b.ReportMetric(sec*1000, "virtual_ms")
+}
+
+// --- Figure 8: Meiko particle ring ------------------------------------
+
+func BenchmarkFigure8ParticlesLowLatency8P(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ParticlesMeiko(pmeiko.LowLatency, 8, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us")
+}
+
+func BenchmarkFigure8ParticlesMPICH8P(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ParticlesMeiko(pmeiko.MPICH, 8, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us")
+}
+
+// --- Figure 9: cluster particle ring ----------------------------------
+
+func BenchmarkFigure9ParticlesEthernet4P(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ParticlesCluster(atm.OverEthernet, 4, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us")
+}
+
+func BenchmarkFigure9ParticlesATM4P(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		v, err := bench.ParticlesCluster(atm.OverATM, 4, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = v
+	}
+	b.ReportMetric(us, "virtual_us")
+}
+
+// --- Ablations ---------------------------------------------------------
+
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationThreshold(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBcastAlgorithms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationBcast(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUDPLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationUDPLoss(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNonblockingOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationNonblockingOverlap(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

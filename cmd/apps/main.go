@@ -1,0 +1,43 @@
+// Command apps runs the application experiments of section 6: the linear
+// equation solver (Figure 7), the Meiko particle ring (Figure 8), the
+// cluster particle ring (Figure 9), and the matrix multiply.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "figure to run (7, 8 or 9); 0 runs all")
+	matmul := flag.Bool("matmul", false, "run the matrix multiply")
+	full := flag.Bool("full", false, "full sweep ranges (32 processes, N=128)")
+	iters := flag.Int("iters", 3, "repetitions per point")
+	flag.Parse()
+
+	o := bench.Opts{Iters: *iters, Full: *full}
+	fns := map[int]func(bench.Opts) (bench.Figure, error){
+		7: bench.Figure7, 8: bench.Figure8, 9: bench.Figure9,
+	}
+	for i := 7; i <= 9; i++ {
+		if *fig != 0 && *fig != i {
+			continue
+		}
+		f, err := fns[i](o)
+		if err != nil {
+			log.Fatalf("figure %d: %v", i, err)
+		}
+		fmt.Println(f)
+	}
+	if *matmul || *fig == 0 {
+		f, err := bench.MatMulMeiko(o)
+		if err != nil {
+			log.Fatalf("matmul: %v", err)
+		}
+		fmt.Println(f)
+	}
+}

@@ -1,0 +1,45 @@
+// Command atmbench runs the cluster microbenchmarks: Figure 4 (raw ATM
+// transports), Figure 5 (TCP latency), Figure 6 (TCP bandwidth) and
+// Table 1 (overhead breakdown).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "figure to run (4, 5 or 6); 0 runs all")
+	table := flag.Bool("table1", false, "regenerate Table 1")
+	full := flag.Bool("full", false, "full sweep ranges")
+	iters := flag.Int("iters", 5, "repetitions per point")
+	flag.Parse()
+
+	o := bench.Opts{Iters: *iters, Full: *full}
+	fns := map[int]func(bench.Opts) (bench.Figure, error){
+		4: bench.Figure4, 5: bench.Figure5, 6: bench.Figure6,
+	}
+	ranAny := false
+	for i := 4; i <= 6; i++ {
+		if *fig != 0 && *fig != i {
+			continue
+		}
+		f, err := fns[i](o)
+		if err != nil {
+			log.Fatalf("figure %d: %v", i, err)
+		}
+		fmt.Println(f)
+		ranAny = true
+	}
+	if *table || (!ranAny && *fig == 0) || *fig == 0 {
+		tab, err := bench.Table1(o)
+		if err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+		fmt.Println(tab)
+	}
+}

@@ -1,0 +1,35 @@
+// Command meikobench runs the Meiko CS/2 microbenchmarks: Figure 1
+// (transfer mechanisms), Figure 2 (round-trip latency) and Figure 3
+// (bandwidth).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 0, "figure to run (1, 2 or 3); 0 runs all")
+	full := flag.Bool("full", false, "full sweep ranges")
+	iters := flag.Int("iters", 5, "repetitions per point")
+	flag.Parse()
+
+	o := bench.Opts{Iters: *iters, Full: *full}
+	fns := map[int]func(bench.Opts) (bench.Figure, error){
+		1: bench.Figure1, 2: bench.Figure2, 3: bench.Figure3,
+	}
+	for i := 1; i <= 3; i++ {
+		if *fig != 0 && *fig != i {
+			continue
+		}
+		f, err := fns[i](o)
+		if err != nil {
+			log.Fatalf("figure %d: %v", i, err)
+		}
+		fmt.Println(f)
+	}
+}

@@ -1,0 +1,128 @@
+// Command mpirun launches any of the built-in applications on either
+// modeled platform — the front door for kicking the tires:
+//
+//	mpirun -np 8 -app linsolve -platform meiko -impl lowlatency -n 128
+//	mpirun -np 4 -app particles -platform cluster -net eth
+//	mpirun -np 8 -app samplesort -platform cluster -transport unet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/atm"
+	"repro/mpi"
+	"repro/platform/cluster"
+	"repro/platform/meiko"
+)
+
+func main() {
+	log.SetFlags(0)
+	np := flag.Int("np", 4, "number of ranks")
+	app := flag.String("app", "linsolve", "linsolve | matmul | particles | samplesort")
+	platform := flag.String("platform", "meiko", "meiko | cluster")
+	impl := flag.String("impl", "lowlatency", "meiko implementation: lowlatency | mpich")
+	transport := flag.String("transport", "tcp", "cluster transport: tcp | udp | unet")
+	network := flag.String("net", "atm", "cluster network: atm | eth")
+	n := flag.Int("n", 0, "problem size (0 = per-app default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	fattree := flag.Bool("fattree", false, "meiko: staged fat-tree congestion model")
+	flag.Parse()
+
+	secPerFlop := apps.MeikoSecPerFlop
+	if *platform == "cluster" {
+		secPerFlop = apps.SGISecPerFlop
+	}
+
+	body := func(c *mpi.Comm) error {
+		switch *app {
+		case "linsolve":
+			size := *n
+			if size == 0 {
+				size = 96
+			}
+			res, err := apps.Linsolve(c, apps.LinsolveConfig{N: size, SecPerFlop: secPerFlop, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("linsolve N=%d: %.4fs virtual, residual %.2e\n", size, res.Elapsed.Seconds(), res.Residual)
+			}
+		case "matmul":
+			size := *n
+			if size == 0 {
+				size = 64
+			}
+			res, err := apps.MatMul(c, apps.MatMulConfig{N: size, SecPerFlop: secPerFlop, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("matmul N=%d: %.4fs virtual, max error %.2e\n", size, res.Elapsed.Seconds(), res.MaxError)
+			}
+		case "particles":
+			size := *n
+			if size == 0 {
+				size = 24
+				for size%*np != 0 {
+					size += 24
+				}
+			}
+			res, err := apps.Particles(c, apps.ParticlesConfig{N: size, SecPerFlop: secPerFlop, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("particles N=%d: %.1fus virtual\n", size, float64(res.Elapsed)/1e3)
+			}
+		case "samplesort":
+			size := *n
+			if size == 0 {
+				size = 128 * *np
+			}
+			res, err := apps.SampleSort(c, apps.SampleSortConfig{N: size, SecPerFlop: secPerFlop, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("samplesort N=%d: %.1fus virtual, rank0 holds %d keys\n", size, float64(res.Elapsed)/1e3, len(res.Sorted))
+			}
+		default:
+			return fmt.Errorf("unknown app %q", *app)
+		}
+		return nil
+	}
+
+	var rep *mpi.Report
+	var err error
+	switch *platform {
+	case "meiko":
+		im := meiko.LowLatency
+		if *impl == "mpich" {
+			im = meiko.MPICH
+		}
+		rep, err = meiko.Run(meiko.Config{Nodes: *np, Impl: im, FatTree: *fattree}, body)
+	case "cluster":
+		tr := cluster.TCP
+		switch *transport {
+		case "udp":
+			tr = cluster.UDP
+		case "unet":
+			tr = cluster.UNET
+		}
+		net := atm.OverATM
+		if *network == "eth" {
+			net = atm.OverEthernet
+		}
+		rep, err = cluster.Run(cluster.Config{Hosts: *np, Transport: tr, Network: net}, body)
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %d ranks, finished at virtual t=%v (%d sends, %d receives)\n",
+		*np, rep.MaxRankElapsed, rep.Acct.Count["send"], rep.Acct.Count["recv"])
+}

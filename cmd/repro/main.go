@@ -1,0 +1,134 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation, printing the same series the paper plots.
+//
+// Usage:
+//
+//	repro -all              # every figure, table and ablation
+//	repro -fig 1,2,7        # specific figures
+//	repro -table1           # the overhead breakdown
+//	repro -ablations        # the extension experiments
+//	repro -full             # paper-complete sweep ranges (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	figs := flag.String("fig", "", "comma-separated figure numbers (1-9)")
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	matmul := flag.Bool("matmul", false, "run the matrix-multiply experiment (§6.1)")
+	ablations := flag.Bool("ablations", false, "run the ablation experiments")
+	anchors := flag.Bool("anchors", false, "print the calibration-anchor comparison")
+	all := flag.Bool("all", false, "run everything")
+	full := flag.Bool("full", false, "use the paper's full sweep ranges")
+	iters := flag.Int("iters", 5, "repetitions per point")
+	svgDir := flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+	flag.Parse()
+
+	o := bench.Opts{Iters: *iters, Full: *full}
+	emit := func(f bench.Figure) {
+		fmt.Println(f)
+		if *svgDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		name := strings.ToLower(strings.ReplaceAll(strings.ReplaceAll(f.ID, " ", "-"), "§", "s")) + ".svg"
+		path := filepath.Join(*svgDir, name)
+		if err := os.WriteFile(path, []byte(f.SVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", path)
+	}
+
+	want := map[string]bool{}
+	if *figs != "" {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	if *all {
+		for i := 1; i <= 9; i++ {
+			want[fmt.Sprint(i)] = true
+		}
+		*table1 = true
+		*matmul = true
+		*ablations = true
+	}
+	if *all {
+		*anchors = true
+	}
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors {
+		flag.Usage()
+		return
+	}
+	if *anchors {
+		as, err := bench.Anchors(o)
+		if err != nil {
+			log.Fatalf("anchors: %v", err)
+		}
+		fmt.Println(bench.FormatAnchors(as))
+	}
+
+	type figFn func(bench.Opts) (bench.Figure, error)
+	figFns := map[string]figFn{
+		"1": bench.Figure1, "2": bench.Figure2, "3": bench.Figure3,
+		"4": bench.Figure4, "5": bench.Figure5, "6": bench.Figure6,
+		"7": bench.Figure7, "8": bench.Figure8, "9": bench.Figure9,
+	}
+	for i := 1; i <= 9; i++ {
+		id := fmt.Sprint(i)
+		if !want[id] {
+			continue
+		}
+		f, err := figFns[id](o)
+		if err != nil {
+			log.Fatalf("figure %s: %v", id, err)
+		}
+		emit(f)
+	}
+	if *table1 {
+		tab, err := bench.Table1(o)
+		if err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+		fmt.Println(tab)
+	}
+	if *matmul {
+		f, err := bench.MatMulMeiko(o)
+		if err != nil {
+			log.Fatalf("matmul: %v", err)
+		}
+		emit(f)
+	}
+	if *ablations {
+		for _, fn := range []figFn{
+			bench.AblationThreshold,
+			bench.AblationBcast,
+			bench.AblationBcastLarge,
+			bench.AblationUDPLoss,
+			bench.AblationNagle,
+			bench.AblationUNet,
+			bench.AblationSlots,
+			bench.AblationCredits,
+			bench.AblationMatchLocation,
+			bench.AblationNonblockingOverlap,
+		} {
+			f, err := fn(o)
+			if err != nil {
+				log.Fatalf("ablation: %v", err)
+			}
+			emit(f)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command trace runs a small MPI workload with the profiling interface
+// enabled and prints the message timeline plus per-pair traffic stats —
+// the microsecond-by-microsecond view behind the paper's latency analysis.
+//
+//	trace -platform meiko|cluster -impl lowlatency|mpich -ranks 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/atm"
+	"repro/mpi"
+	"repro/platform/cluster"
+	"repro/platform/meiko"
+)
+
+func main() {
+	log.SetFlags(0)
+	platform := flag.String("platform", "meiko", "meiko or cluster")
+	impl := flag.String("impl", "lowlatency", "meiko implementation: lowlatency or mpich")
+	ranks := flag.Int("ranks", 3, "number of ranks")
+	size := flag.Int("size", 64, "message payload bytes")
+	flag.Parse()
+
+	var w *mpi.World
+	switch *platform {
+	case "meiko":
+		im := meiko.LowLatency
+		if *impl == "mpich" {
+			im = meiko.MPICH
+		}
+		w, _ = meiko.NewWorld(meiko.Config{Nodes: *ranks, Impl: im})
+	case "cluster":
+		w, _ = cluster.NewWorld(cluster.Config{Hosts: *ranks, Transport: cluster.TCP, Network: atm.OverATM})
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+	tl := w.EnableTrace()
+
+	n := *ranks
+	payload := *size
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		// A short pipeline: each rank sends to the next, the last replies
+		// to rank 0 — enough traffic to show sends, arrivals, matches and
+		// completions interleaving.
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		if c.Rank() == 0 {
+			if err := c.Send(right, 1, make([]byte, payload)); err != nil {
+				return err
+			}
+			_, err := c.Recv(left, 1, make([]byte, payload))
+			return err
+		}
+		if _, err := c.Recv(left, 1, make([]byte, payload)); err != nil {
+			return err
+		}
+		return c.Send(right, 1, make([]byte, payload))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(tl.Timeline())
+	fmt.Println("\nPer-pair traffic:")
+	stats := tl.Stats()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			s := stats[src][dst]
+			if s == nil || s.Messages == 0 {
+				continue
+			}
+			line := fmt.Sprintf("  %d -> %d: %d msgs, %d bytes", src, dst, s.Messages, s.Bytes)
+			if s.Matched > 0 {
+				line += fmt.Sprintf(", mean arrive->match %.1fus", float64(s.MatchLatency)/float64(s.Matched)/1e3)
+			}
+			fmt.Println(line)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Particles runs the paper's section 6.2 molecular-dynamics ring on both
+// platforms: 24 particles on the Meiko (Figure 8) and 128 particles on the
+// ATM/Ethernet cluster (Figure 9), verifying forces against the sequential
+// reference.
+//
+//	go run ./examples/particles
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/atm"
+	"repro/mpi"
+	"repro/platform/cluster"
+	"repro/platform/meiko"
+)
+
+func verify(n int, seed int64, got [][3]float64) float64 {
+	want := apps.SequentialForces(n, seed)
+	var maxErr float64
+	for i := range want {
+		for d := 0; d < 3; d++ {
+			maxErr = math.Max(maxErr, math.Abs(got[i][d]-want[i][d]))
+		}
+	}
+	return maxErr
+}
+
+func main() {
+	fmt.Println("Meiko CS/2, 24 particles (Figure 8):")
+	fmt.Printf("%8s %14s %14s\n", "procs", "low latency", "mpich")
+	for _, p := range []int{1, 2, 4, 8} {
+		times := map[meiko.Impl]float64{}
+		for _, impl := range []meiko.Impl{meiko.LowLatency, meiko.MPICH} {
+			got := make([][3]float64, 24)
+			rep, err := meiko.Run(meiko.Config{Nodes: p, Impl: impl}, func(c *mpi.Comm) error {
+				res, err := apps.Particles(c, apps.ParticlesConfig{N: 24, Seed: 1})
+				if err != nil {
+					return err
+				}
+				copy(got[c.Rank()*(24/p):], res.Forces)
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if e := verify(24, 1, got); e > 1e-9 {
+				log.Fatalf("forces diverge from sequential reference: %g", e)
+			}
+			times[impl] = float64(rep.MaxRankElapsed) / 1e3
+		}
+		fmt.Printf("%8d %12.1fus %12.1fus\n", p, times[meiko.LowLatency], times[meiko.MPICH])
+	}
+
+	fmt.Println("\nWorkstation cluster over TCP, 128 particles (Figure 9):")
+	fmt.Printf("%8s %14s %14s\n", "procs", "Ethernet", "ATM")
+	for _, p := range []int{2, 4, 8} {
+		times := map[atm.MediumKind]float64{}
+		for _, net := range []atm.MediumKind{atm.OverEthernet, atm.OverATM} {
+			rep, err := cluster.Run(cluster.Config{Hosts: p, Transport: cluster.TCP, Network: net}, func(c *mpi.Comm) error {
+				_, err := apps.Particles(c, apps.ParticlesConfig{N: 128, Seed: 2, SecPerFlop: apps.SGISecPerFlop})
+				return err
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[net] = float64(rep.MaxRankElapsed) / 1e3
+		}
+		fmt.Printf("%8d %12.1fus %12.1fus\n", p, times[atm.OverEthernet], times[atm.OverATM])
+	}
+}

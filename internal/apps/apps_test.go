@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/mpi"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+func TestLinsolveCorrectMeiko(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 7} {
+		procs := procs
+		var residual float64
+		_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+			res, err := Linsolve(c, LinsolveConfig{N: 48})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				residual = res.Residual
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if residual > 1e-8 {
+			t.Fatalf("procs=%d: residual %g", procs, residual)
+		}
+	}
+}
+
+func TestLinsolveCorrectMPICH(t *testing.T) {
+	var residual float64
+	_, err := pmeiko.Run(pmeiko.Config{Nodes: 4, Impl: pmeiko.MPICH}, func(c *mpi.Comm) error {
+		res, err := Linsolve(c, LinsolveConfig{N: 32})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			residual = res.Residual
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-8 {
+		t.Fatalf("residual %g", residual)
+	}
+}
+
+func TestLinsolveCorrectCluster(t *testing.T) {
+	var residual float64
+	_, err := pcluster.Run(pcluster.Config{Hosts: 4, Transport: pcluster.TCP, Network: atm.OverATM}, func(c *mpi.Comm) error {
+		res, err := Linsolve(c, LinsolveConfig{N: 32, SecPerFlop: SGISecPerFlop})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			residual = res.Residual
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-8 {
+		t.Fatalf("residual %g", residual)
+	}
+}
+
+// Figure 7's claim: the hardware-broadcast implementation beats MPICH's
+// point-to-point broadcast, and both speed up with processors.
+func TestLinsolveFigure7Shape(t *testing.T) {
+	elapsed := func(impl pmeiko.Impl, procs int) time.Duration {
+		var el time.Duration
+		_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: impl}, func(c *mpi.Comm) error {
+			res, err := Linsolve(c, LinsolveConfig{N: 64})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				el = res.Elapsed
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el
+	}
+	low1 := elapsed(pmeiko.LowLatency, 1)
+	low8 := elapsed(pmeiko.LowLatency, 8)
+	mpich8 := elapsed(pmeiko.MPICH, 8)
+	if low8 >= low1 {
+		t.Fatalf("no speedup: 1 proc %v, 8 procs %v", low1, low8)
+	}
+	if low8 >= mpich8 {
+		t.Fatalf("hardware bcast (%v) not beating mpich p2p bcast (%v) at 8 procs", low8, mpich8)
+	}
+}
+
+func TestMatMulCorrect(t *testing.T) {
+	var maxErr float64 = -1
+	_, err := pmeiko.Run(pmeiko.Config{Nodes: 4, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+		res, err := MatMul(c, MatMulConfig{N: 24})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			maxErr = res.MaxError
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr < 0 || maxErr > 1e-9 {
+		t.Fatalf("max error %g", maxErr)
+	}
+}
+
+func TestParticlesMatchSequential(t *testing.T) {
+	const n = 24
+	want := SequentialForces(n, 1)
+	for _, procs := range []int{1, 2, 4, 8} {
+		procs := procs
+		got := make([][3]float64, n)
+		_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+			res, err := Particles(c, ParticlesConfig{N: n, Seed: 1})
+			if err != nil {
+				return err
+			}
+			per := n / procs
+			copy(got[c.Rank()*per:], res.Forces)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		for i := range want {
+			for d := 0; d < 3; d++ {
+				if math.Abs(got[i][d]-want[i][d]) > 1e-9*(1+math.Abs(want[i][d])) {
+					t.Fatalf("procs=%d particle %d dim %d: %g vs %g", procs, i, d, got[i][d], want[i][d])
+				}
+			}
+		}
+	}
+}
+
+func TestParticlesClusterBothMedia(t *testing.T) {
+	const n = 128
+	want := SequentialForces(n, 2)
+	elapsed := map[atm.MediumKind]time.Duration{}
+	for _, net := range []atm.MediumKind{atm.OverEthernet, atm.OverATM} {
+		got := make([][3]float64, n)
+		rep, err := pcluster.Run(pcluster.Config{Hosts: 4, Transport: pcluster.TCP, Network: net}, func(c *mpi.Comm) error {
+			res, err := Particles(c, ParticlesConfig{N: n, Seed: 2, SecPerFlop: SGISecPerFlop})
+			if err != nil {
+				return err
+			}
+			per := n / 4
+			copy(got[c.Rank()*per:], res.Forces)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", net, err)
+		}
+		elapsed[net] = rep.MaxRankElapsed
+		for i := 0; i < n; i += 17 {
+			if math.Abs(got[i][0]-want[i][0]) > 1e-9*(1+math.Abs(want[i][0])) {
+				t.Fatalf("%v: particle %d force mismatch", net, i)
+			}
+		}
+	}
+	// Figure 9: ATM wins on the cluster.
+	if elapsed[atm.OverATM] >= elapsed[atm.OverEthernet] {
+		t.Fatalf("atm %v not faster than ethernet %v", elapsed[atm.OverATM], elapsed[atm.OverEthernet])
+	}
+}
+
+// Figure 8's setting: low latency matters because the ring processes
+// interact in lock-step; the low-latency implementation beats MPICH.
+func TestParticlesFigure8Shape(t *testing.T) {
+	elapsed := func(impl pmeiko.Impl) time.Duration {
+		rep, err := pmeiko.Run(pmeiko.Config{Nodes: 8, Impl: impl}, func(c *mpi.Comm) error {
+			_, err := Particles(c, ParticlesConfig{N: 24, Seed: 1})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxRankElapsed
+	}
+	low, mpich := elapsed(pmeiko.LowLatency), elapsed(pmeiko.MPICH)
+	if low >= mpich {
+		t.Fatalf("low latency %v not beating mpich %v on the fine-grained ring", low, mpich)
+	}
+}
+
+func TestParticlesBadDivision(t *testing.T) {
+	_, err := pmeiko.Run(pmeiko.Config{Nodes: 5, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+		_, err := Particles(c, ParticlesConfig{N: 24, Seed: 1})
+		return err
+	})
+	if err == nil {
+		t.Fatal("24 particles on 5 ranks should error")
+	}
+}
+
+func TestSampleSortGloballyOrdered(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		procs := procs
+		const n = 512
+		parts := make([][]int64, procs)
+		_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+			res, err := SampleSort(c, SampleSortConfig{N: n, Seed: 4})
+			if err != nil {
+				return err
+			}
+			parts[c.Rank()] = res.Sorted
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		// Concatenated partitions must be globally sorted and complete.
+		var all []int64
+		for r, part := range parts {
+			for i := 1; i < len(part); i++ {
+				if part[i] < part[i-1] {
+					t.Fatalf("procs=%d rank %d: local partition unsorted", procs, r)
+				}
+			}
+			if len(all) > 0 && len(part) > 0 && part[0] < all[len(all)-1] {
+				t.Fatalf("procs=%d: partition %d starts below partition %d's end", procs, r, r-1)
+			}
+			all = append(all, part...)
+		}
+		if len(all) != n {
+			t.Fatalf("procs=%d: %d keys out, want %d", procs, len(all), n)
+		}
+	}
+}
+
+func TestSampleSortCluster(t *testing.T) {
+	parts := make([][]int64, 4)
+	_, err := pcluster.Run(pcluster.Config{Hosts: 4, Transport: pcluster.TCP, Network: atm.OverATM}, func(c *mpi.Comm) error {
+		res, err := SampleSort(c, SampleSortConfig{N: 256, Seed: 9, SecPerFlop: SGISecPerFlop})
+		if err != nil {
+			return err
+		}
+		parts[c.Rank()] = res.Sorted
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 256 {
+		t.Fatalf("keys out = %d", total)
+	}
+}
+
+func TestSampleSortBadDivision(t *testing.T) {
+	_, err := pmeiko.Run(pmeiko.Config{Nodes: 3, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+		_, err := SampleSort(c, SampleSortConfig{N: 100, Seed: 1})
+		return err
+	})
+	if err == nil {
+		t.Fatal("100 keys on 3 ranks should error")
+	}
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/mpi"
+)
+
+// ParticlesConfig parameterizes the molecular-dynamics pairwise
+// interaction code of Figures 8 (24 particles, Meiko) and 9 (128
+// particles, cluster).
+type ParticlesConfig struct {
+	N          int // total particles; must divide by Size()
+	SecPerFlop time.Duration
+	Seed       int64
+}
+
+// flopsPerPair is the modeled cost of one pairwise force evaluation
+// (displacements, r^2, inverse-square law, accumulation).
+const flopsPerPair = 20
+
+// ParticlesResult reports the run. Forces holds this rank's owned
+// particles' force vectors.
+type ParticlesResult struct {
+	Elapsed time.Duration
+	Forces  [][3]float64
+}
+
+// particleBytes is the wire size of one particle (x, y, z, mass).
+const particleBytes = 32
+
+func genParticles(n int, seed int64) [][4]float64 {
+	rng := rand.New(rand.NewSource(seed + 3))
+	ps := make([][4]float64, n)
+	for i := range ps {
+		ps[i] = [4]float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, 1 + rng.Float64()}
+	}
+	return ps
+}
+
+// accumulate adds the forces that the particles in src exert on the
+// particles in own (skipping self-pairs by identity index).
+func accumulate(own [][4]float64, ownIdx int, src [][4]float64, srcIdx int, f [][3]float64) int {
+	pairs := 0
+	for i := range own {
+		gi := ownIdx + i
+		for j := range src {
+			gj := srcIdx + j
+			if gi == gj {
+				continue
+			}
+			dx := src[j][0] - own[i][0]
+			dy := src[j][1] - own[i][1]
+			dz := src[j][2] - own[i][2]
+			r2 := dx*dx + dy*dy + dz*dz + 1e-9
+			inv := src[j][3] * own[i][3] / (r2 * math.Sqrt(r2))
+			f[i][0] += dx * inv
+			f[i][1] += dy * inv
+			f[i][2] += dz * inv
+			pairs++
+		}
+	}
+	return pairs
+}
+
+func packParticles(ps [][4]float64) []byte {
+	flat := make([]float64, 4*len(ps))
+	for i, p := range ps {
+		copy(flat[4*i:], p[:])
+	}
+	return mpi.Float64Bytes(flat)
+}
+
+func unpackParticles(b []byte) [][4]float64 {
+	flat := mpi.BytesFloat64(b)
+	ps := make([][4]float64, len(flat)/4)
+	for i := range ps {
+		copy(ps[i][:], flat[4*i:4*i+4])
+	}
+	return ps
+}
+
+// Particles computes all pairwise forces on N particles with the paper's
+// ring algorithm: each rank owns N/P particles and, for P-1 phases, posts
+// a nonblocking send of the traveling partition to the next rank, performs
+// a blocking receive from the previous rank, and then waits on the send —
+// exactly the communication structure of section 6.2.
+func Particles(c *mpi.Comm, cfg ParticlesConfig) (*ParticlesResult, error) {
+	p := c.Size()
+	rank := c.Rank()
+	if cfg.N%p != 0 {
+		return nil, fmt.Errorf("particles: %d particles do not divide across %d ranks", cfg.N, p)
+	}
+	if cfg.SecPerFlop == 0 {
+		cfg.SecPerFlop = MeikoSecPerFlop
+	}
+	per := cfg.N / p
+	all := genParticles(cfg.N, cfg.Seed)
+	own := all[rank*per : (rank+1)*per]
+
+	start := c.Wtime()
+	forces := make([][3]float64, per)
+	// Phase 0: interactions within the local partition.
+	pairs := accumulate(own, rank*per, own, rank*per, forces)
+	c.Compute(time.Duration(pairs*flopsPerPair) * cfg.SecPerFlop)
+
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	traveling := make([][4]float64, per)
+	copy(traveling, own)
+	travelIdx := rank * per
+
+	for phase := 1; phase < p; phase++ {
+		sreq, err := c.Isend(right, phase, packParticles(traveling))
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, per*particleBytes)
+		if _, err := c.Recv(left, phase, buf); err != nil {
+			return nil, err
+		}
+		if _, err := sreq.Wait(); err != nil {
+			return nil, err
+		}
+		traveling = unpackParticles(buf)
+		travelIdx = ((rank-phase)%p + p) % p * per
+		pairs := accumulate(own, rank*per, traveling, travelIdx, forces)
+		c.Compute(time.Duration(pairs*flopsPerPair) * cfg.SecPerFlop)
+	}
+	return &ParticlesResult{Elapsed: c.Wtime() - start, Forces: forces}, nil
+}
+
+// SequentialForces computes the reference forces for verification.
+func SequentialForces(n int, seed int64) [][3]float64 {
+	all := genParticles(n, seed)
+	f := make([][3]float64, n)
+	accumulate(all, 0, all, 0, f)
+	return f
+}

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/mpi"
+)
+
+// SampleSortConfig parameterizes the parallel sample sort — an extension
+// application exercising the vector collectives (Gather, Bcast,
+// Alltoallv) on an all-to-all-heavy communication pattern, the opposite
+// corner from the solver's broadcast tree and the particles' ring.
+type SampleSortConfig struct {
+	N          int // total keys; divided evenly across ranks
+	SecPerFlop time.Duration
+	Seed       int64
+}
+
+// SampleSortResult reports the run; Sorted holds this rank's output
+// partition (globally ordered across ranks by rank index).
+type SampleSortResult struct {
+	Elapsed time.Duration
+	Sorted  []int64
+}
+
+// SampleSort sorts N uniformly random keys: each rank sorts its local
+// block, the root gathers a regular sample and broadcasts P-1 splitters,
+// every rank partitions its keys and exchanges partitions with Alltoallv,
+// and a final local merge yields globally ordered output.
+func SampleSort(c *mpi.Comm, cfg SampleSortConfig) (*SampleSortResult, error) {
+	p := c.Size()
+	rank := c.Rank()
+	if cfg.N%p != 0 {
+		return nil, fmt.Errorf("samplesort: %d keys do not divide across %d ranks", cfg.N, p)
+	}
+	if cfg.SecPerFlop == 0 {
+		cfg.SecPerFlop = MeikoSecPerFlop
+	}
+	per := cfg.N / p
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rank)*101))
+	local := make([]int64, per)
+	for i := range local {
+		local[i] = rng.Int63n(1 << 40)
+	}
+
+	start := c.Wtime()
+	charge := func(ops int) { c.Compute(time.Duration(ops) * cfg.SecPerFlop) }
+
+	// Local sort: ~n log n comparisons.
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	charge(per * bits(per))
+
+	// Regular sampling: p samples per rank, gathered at the root.
+	samples := make([]int64, p)
+	for i := range samples {
+		samples[i] = local[i*per/p]
+	}
+	var all []byte
+	if rank == 0 {
+		all = make([]byte, 8*p*p)
+	}
+	if err := c.Gather(0, mpi.Int64Bytes(samples), all); err != nil {
+		return nil, err
+	}
+
+	// Root picks p-1 splitters and broadcasts them.
+	splitters := make([]byte, 8*(p-1))
+	if rank == 0 {
+		gathered := mpi.BytesInt64(all)
+		sort.Slice(gathered, func(i, j int) bool { return gathered[i] < gathered[j] })
+		charge(p * p * bits(p*p))
+		sp := make([]int64, p-1)
+		for i := range sp {
+			sp[i] = gathered[(i+1)*p]
+		}
+		splitters = mpi.Int64Bytes(sp)
+	}
+	if err := c.Bcast(0, splitters); err != nil {
+		return nil, err
+	}
+	sp := mpi.BytesInt64(splitters)
+
+	// Partition the sorted local block by splitter (binary-search bounds).
+	bounds := make([]int, p+1)
+	bounds[p] = per
+	for i, s := range sp {
+		bounds[i+1] = sort.Search(per, func(j int) bool { return local[j] > s })
+	}
+	scounts := make([]int, p)
+	sdispls := make([]int, p)
+	for i := 0; i < p; i++ {
+		sdispls[i] = 8 * bounds[i]
+		scounts[i] = 8 * (bounds[i+1] - bounds[i])
+	}
+
+	// Exchange partition sizes, then the partitions.
+	sizes := make([]byte, 8*p)
+	mine := make([]int64, p)
+	for i := range mine {
+		mine[i] = int64(scounts[i])
+	}
+	if err := c.Alltoall(mpi.Int64Bytes(mine), sizes); err != nil {
+		return nil, err
+	}
+	rsz := mpi.BytesInt64(sizes)
+	rcounts := make([]int, p)
+	rdispls := make([]int, p)
+	total := 0
+	for i := range rcounts {
+		rcounts[i] = int(rsz[i])
+		rdispls[i] = total
+		total += rcounts[i]
+	}
+	recv := make([]byte, total)
+	if err := c.Alltoallv(mpi.Int64Bytes(local), scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return nil, err
+	}
+
+	// Final local sort of the received partition.
+	out := mpi.BytesInt64(recv)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	charge(len(out) * bits(len(out)))
+
+	return &SampleSortResult{Elapsed: c.Wtime() - start, Sorted: out}, nil
+}
+
+// bits approximates log2(n) for the comparison-count charge.
+func bits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package atm
+
+import (
+	"repro/internal/sim"
+)
+
+// Cluster is the modeled testbed: n workstation hosts attached to both the
+// shared Ethernet and the ATM switch, as in the paper's evaluation.
+type Cluster struct {
+	S     *sim.Scheduler
+	Costs Costs
+	N     int
+	Eth   *Ethernet
+	Atm   *ATMNet
+
+	udpPorts map[MediumKind]map[int]*UDP // medium -> host -> bound socket
+	aal4     map[int]*AAL4               // host -> Fore API socket
+	unet     map[int]*UNet               // host -> user-level endpoint
+}
+
+// NewCluster builds an n-host cluster on scheduler s.
+func NewCluster(s *sim.Scheduler, n int, c Costs) *Cluster {
+	return &Cluster{
+		S:     s,
+		Costs: c,
+		N:     n,
+		Eth:   NewEthernet(s, c),
+		Atm:   NewATMNet(s, n, c),
+		udpPorts: map[MediumKind]map[int]*UDP{
+			OverEthernet: {},
+			OverATM:      {},
+		},
+	}
+}
+
+// Medium returns the requested wire.
+func (cl *Cluster) Medium(k MediumKind) Medium {
+	if k == OverEthernet {
+		return cl.Eth
+	}
+	return cl.Atm
+}
+
+// readExtra is the per-read stack cost that differs between the Ethernet
+// driver and the Fore STREAMS stack (Table 1's 65 vs 85 µs reads).
+func (cl *Cluster) readExtra(k MediumKind) sim.Duration {
+	if k == OverEthernet {
+		return cl.Costs.ReadExtraEth
+	}
+	return cl.Costs.ReadExtraATM
+}

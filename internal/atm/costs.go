@@ -1,0 +1,96 @@
+// Package atm models the paper's workstation cluster: SGI hosts on a
+// 10 Mbit/s shared Ethernet and a Fore ASX-200 ATM switch with 155 Mbit/s
+// ports and GIA-200 interface cards (i960 segmentation-and-reassembly
+// processors), plus the IRIX kernel protocol stacks the paper measures
+// through: TCP/IP, UDP/IP and the Fore AAL3/4 API on STREAMS.
+//
+// As on the Meiko, bytes are real and time is virtual; Costs carries the
+// calibrated kernel/driver charges that reproduce Table 1 and Figures 4-6.
+package atm
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Costs parameterizes the cluster model.
+type Costs struct {
+	// Syscall boundary.
+	SyscallWrite sim.Duration // enter kernel for a send
+	SyscallRead  sim.Duration // enter kernel for a receive
+	ReadExtraEth sim.Duration // per-read stack cost over the Ethernet driver
+	ReadExtraATM sim.Duration // per-read stack cost over the Fore STREAMS stack
+	CopyPerByte  sim.Duration // user <-> kernel copy bandwidth
+
+	// In-kernel protocol processing.
+	TCPPerSegment   sim.Duration // TCP+IP output or input processing per segment
+	UDPPerPacket    sim.Duration // UDP+IP processing per datagram
+	ChecksumPerByte sim.Duration
+	KernelWakeup    sim.Duration // interrupt-to-user scheduling latency
+
+	// Driver / NIC.
+	DriverEthPerFrame sim.Duration // Ethernet interrupt+driver per frame
+	DriverATMPerFrame sim.Duration // Fore STREAMS driver per packet (the paper's AAL4 ~ TCP culprit)
+	I960PerPacket     sim.Duration // on-card SAR processing per packet, each direction
+	AAL4PerPacket     sim.Duration // Fore API processing per packet (excl. IP/UDP)
+
+	// Wires.
+	EthPerByte   sim.Duration // 10 Mbit/s shared medium
+	ATMPerByte   sim.Duration // 155 Mbit/s per port
+	SwitchDelay  sim.Duration // ASX-200 forwarding latency per packet
+	EthPropDelay sim.Duration // Ethernet propagation (tiny)
+}
+
+// DefaultCosts reproduces the paper's measured anchors:
+//
+//	tcp/eth 1-byte round trip ≈  925 µs (Figure 5, Table 1)
+//	tcp/atm 1-byte round trip ≈ 1065 µs
+//	read-for-type / read-for-envelope ≈ 65 µs (eth) and 85 µs (atm)
+//	Fore AAL4 latency ≈ TCP ≈ UDP (Figure 4)
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallWrite: 60 * time.Microsecond,
+		SyscallRead:  55 * time.Microsecond,
+		ReadExtraEth: 10 * time.Microsecond,
+		ReadExtraATM: 30 * time.Microsecond,
+		CopyPerByte:  60 * time.Nanosecond, // ~16 MB/s kernel copy on a 133 MHz Indy
+
+		TCPPerSegment:   127 * time.Microsecond,
+		UDPPerPacket:    80 * time.Microsecond,
+		ChecksumPerByte: 15 * time.Nanosecond,
+		KernelWakeup:    55 * time.Microsecond,
+
+		DriverEthPerFrame: 25 * time.Microsecond,
+		DriverATMPerFrame: 112 * time.Microsecond,
+		I960PerPacket:     15 * time.Microsecond,
+		AAL4PerPacket:     140 * time.Microsecond,
+
+		EthPerByte:   800 * time.Nanosecond, // 10 Mbit/s
+		ATMPerByte:   52 * time.Nanosecond,  // 155 Mbit/s per port
+		SwitchDelay:  10 * time.Microsecond,
+		EthPropDelay: 2 * time.Microsecond,
+	}
+}
+
+// Ethernet framing constants.
+const (
+	EthOverheadBytes = 38   // preamble, header, FCS, interframe gap
+	EthMinPayload    = 46   // minimum frame payload (padded)
+	EthMTU           = 1500 // maximum frame payload
+)
+
+// ATM constants.
+const (
+	CellBytes        = 53
+	AAL5CellPayload  = 48
+	AAL5Trailer      = 8
+	AAL34CellPayload = 44
+	ATMMTU           = 9180 // Classical IP over ATM default MTU
+)
+
+// IP/transport header sizes.
+const (
+	TCPIPHeader = 40
+	UDPIPHeader = 28
+)

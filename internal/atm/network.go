@@ -1,0 +1,171 @@
+package atm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MediumKind selects the wire below the protocol stack.
+type MediumKind int
+
+const (
+	OverEthernet MediumKind = iota
+	OverATM
+)
+
+func (k MediumKind) String() string {
+	if k == OverEthernet {
+		return "eth"
+	}
+	return "atm"
+}
+
+// DeliverOpts qualifies one link-layer packet.
+type DeliverOpts struct {
+	AAL34     bool // ATM only: AAL3/4 cells instead of AAL5
+	Droppable bool // may be lost per the medium's loss rate (datagram traffic)
+}
+
+// Medium carries link-layer packets between hosts, charging wire and
+// driver time on the way. Event-context safe; delivery between a fixed
+// (src, dst) pair is FIFO.
+type Medium interface {
+	Kind() MediumKind
+	MTU() int
+	// Deliver carries n payload bytes from src to dst and runs deliver at
+	// the destination after wire, NIC, and driver time. Returns false if
+	// the packet was dropped by loss injection (deliver will not run).
+	Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool
+}
+
+// Ethernet is the 10 Mbit/s shared medium: every frame from every host
+// serializes on one wire, which is what makes the cluster's Figure 9 lose
+// to ATM under contention.
+type Ethernet struct {
+	s        *sim.Scheduler
+	c        Costs
+	wire     *sim.FIFO
+	LossRate float64
+	// Dropped counts loss-injected frames (tests).
+	Dropped int
+
+	// CSMACD enables collision modeling: a station finding the medium
+	// busy pays a random exponential backoff (in slot times) scaled by the
+	// number of frames already queued, approximating 10Base-T's truncated
+	// binary exponential backoff under contention. Off by default — the
+	// paper's quiet-LAN measurements see essentially no collisions.
+	CSMACD bool
+	// SlotTime is the collision slot (51.2 µs at 10 Mbit/s); zero uses
+	// the standard value.
+	SlotTime sim.Duration
+	// Collisions counts backoff episodes (tests/instrumentation).
+	Collisions int
+	queued     int
+}
+
+// NewEthernet builds the shared segment.
+func NewEthernet(s *sim.Scheduler, c Costs) *Ethernet {
+	return &Ethernet{s: s, c: c, wire: sim.NewFIFO(s, "ether")}
+}
+
+// Kind implements Medium.
+func (e *Ethernet) Kind() MediumKind { return OverEthernet }
+
+// MTU implements Medium.
+func (e *Ethernet) MTU() int { return EthMTU }
+
+// FrameWireBytes reports the wire occupancy of an n-byte frame payload.
+func FrameWireBytes(n int) int {
+	if n < EthMinPayload {
+		n = EthMinPayload
+	}
+	return n + EthOverheadBytes
+}
+
+// Deliver implements Medium.
+func (e *Ethernet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool {
+	if n > EthMTU {
+		panic(fmt.Sprintf("ethernet: frame payload %d exceeds MTU", n))
+	}
+	if opts.Droppable && e.LossRate > 0 && e.s.Rand().Float64() < e.LossRate {
+		e.Dropped++
+		// The collision/loss still occupies the wire.
+		e.wire.UseAsync(sim.Duration(FrameWireBytes(n))*e.c.EthPerByte, nil)
+		return false
+	}
+	wire := sim.Duration(FrameWireBytes(n)) * e.c.EthPerByte
+	if e.CSMACD && e.wire.BusyUntil() > e.s.Now() {
+		// Contended medium: model collisions + truncated binary
+		// exponential backoff. The backoff window doubles with the number
+		// of frames already fighting for the wire.
+		e.Collisions++
+		slot := e.SlotTime
+		if slot == 0 {
+			slot = 51200 // 51.2 µs: 512 bit times at 10 Mbit/s
+		}
+		window := 2 << min(e.queued, 9)
+		backoff := sim.Duration(e.s.Rand().Intn(window)) * slot
+		wire += backoff
+	}
+	e.queued++
+	e.wire.UseAsync(wire, func() {
+		e.queued--
+		e.s.After(e.c.EthPropDelay+e.c.DriverEthPerFrame, deliver)
+	})
+	return true
+}
+
+// ATMNet is the switched ATM fabric: a dedicated 155 Mbit/s full-duplex
+// link per host into a ForeRunner ASX-200, which forwards cells to the
+// destination port. Uplinks and downlinks are independent resources, so
+// there is no cross-host contention except at a shared destination port.
+type ATMNet struct {
+	s        *sim.Scheduler
+	c        Costs
+	up, down []*sim.FIFO
+	LossRate float64
+	Dropped  int
+}
+
+// NewATMNet builds the switch with n host ports.
+func NewATMNet(s *sim.Scheduler, n int, c Costs) *ATMNet {
+	a := &ATMNet{s: s, c: c}
+	for i := 0; i < n; i++ {
+		a.up = append(a.up, sim.NewFIFO(s, fmt.Sprintf("atm-up%d", i)))
+		a.down = append(a.down, sim.NewFIFO(s, fmt.Sprintf("atm-down%d", i)))
+	}
+	return a
+}
+
+// Kind implements Medium.
+func (a *ATMNet) Kind() MediumKind { return OverATM }
+
+// MTU implements Medium (Classical IP over ATM).
+func (a *ATMNet) MTU() int { return ATMMTU }
+
+// Deliver implements Medium.
+func (a *ATMNet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool {
+	wireBytes := AAL5WireBytes(n)
+	if opts.AAL34 {
+		wireBytes = AAL34WireBytes(n)
+	}
+	if opts.Droppable && a.LossRate > 0 && a.s.Rand().Float64() < a.LossRate {
+		a.Dropped++
+		a.up[src].UseAsync(sim.Duration(wireBytes)*a.c.ATMPerByte, nil)
+		return false
+	}
+	wire := sim.Duration(wireBytes) * a.c.ATMPerByte
+	// Outbound SAR on the i960, uplink serialization, switch forwarding,
+	// downlink serialization, inbound SAR, then the STREAMS driver.
+	a.s.After(a.c.I960PerPacket, func() {
+		a.up[src].UseAsync(wire, func() {
+			a.s.After(a.c.SwitchDelay, func() {
+				a.down[dst].UseAsync(wire, func() {
+					a.s.After(a.c.I960PerPacket+a.c.DriverATMPerFrame, deliver)
+				})
+			})
+		})
+	})
+	return true
+}

@@ -1,0 +1,246 @@
+package atm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RUDP header: 1 flag byte, 4-byte sequence, 4-byte cumulative ack.
+const rudpHeader = 9
+
+const (
+	rudpData = 1
+	rudpAck  = 2
+)
+
+// RUDP layers reliability over a UDP socket: per-peer sequence numbers,
+// cumulative acknowledgements, timer-driven retransmission, duplicate
+// suppression and in-order delivery — the paper's "additional measures
+// taken to make the UDP communication reliable", whose cost is why its
+// UDP MPI performed like the TCP one.
+type RUDP struct {
+	sock *UDP
+	s    *sim.Scheduler
+
+	Window     int          // max unacked datagrams per peer
+	RTO        sim.Duration // retransmission timeout
+	MaxRetries int
+
+	peers     map[int]*rudpPeer
+	delivered []Datagram
+	arrival   *sim.Cond
+
+	// Stats.
+	Retransmits int
+	Duplicates  int
+
+	// Err is set if a peer exceeded MaxRetries (the link is declared dead).
+	Err error
+}
+
+type rudpPeer struct {
+	nextSend uint32
+	unacked  map[uint32]*rudpPending
+	nextRecv uint32
+	stash    map[uint32][]byte
+}
+
+type rudpPending struct {
+	frame []byte
+	dst   int
+	tries int
+	acked bool
+}
+
+// NewRUDP wraps sock with reliability.
+func NewRUDP(sock *UDP) *RUDP {
+	r := &RUDP{
+		sock:       sock,
+		s:          sock.cl.S,
+		Window:     32,
+		RTO:        10 * time.Millisecond,
+		MaxRetries: 25,
+		peers:      make(map[int]*rudpPeer),
+		arrival:    sim.NewCond(sock.cl.S),
+	}
+	// Pure acknowledgements are consumed at interrupt level, like the
+	// kernel timers that drive retransmission: the sender's window opens
+	// and its timers settle even when the application is off computing.
+	sock.OnReadable(func() {
+		r.consumeAcks()
+		r.arrival.Broadcast()
+	})
+	return r
+}
+
+// consumeAcks removes and processes ack-only datagrams from the raw socket
+// queue. Runs in event context, so it charges no process time.
+func (r *RUDP) consumeAcks() {
+	kept := r.sock.dq[:0]
+	for _, d := range r.sock.dq {
+		if len(d.Data) == rudpHeader && d.Data[0]&rudpAck != 0 {
+			ack := binary.BigEndian.Uint32(d.Data[5:9])
+			pr := r.peer(d.Src)
+			for s, pend := range pr.unacked {
+				if s < ack {
+					pend.acked = true
+					delete(pr.unacked, s)
+				}
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	r.sock.dq = kept
+}
+
+func (r *RUDP) peer(h int) *rudpPeer {
+	p, ok := r.peers[h]
+	if !ok {
+		p = &rudpPeer{unacked: make(map[uint32]*rudpPending), stash: make(map[uint32][]byte)}
+		r.peers[h] = p
+	}
+	return p
+}
+
+// Send reliably transmits data to host dst, blocking on the send window.
+func (r *RUDP) Send(p *sim.Proc, dst int, data []byte) error {
+	pr := r.peer(dst)
+	for len(pr.unacked) >= r.Window {
+		r.drain(p)
+		if r.Err != nil {
+			return r.Err
+		}
+		if len(pr.unacked) >= r.Window {
+			r.arrival.Wait(p)
+		}
+	}
+	seq := pr.nextSend
+	pr.nextSend++
+	frame := make([]byte, rudpHeader+len(data))
+	frame[0] = rudpData
+	binary.BigEndian.PutUint32(frame[1:5], seq)
+	copy(frame[rudpHeader:], data)
+	pend := &rudpPending{frame: frame, dst: dst}
+	pr.unacked[seq] = pend
+	r.sock.SendTo(p, dst, frame)
+	r.armRetransmit(pr, seq, pend)
+	return r.Err
+}
+
+// armRetransmit schedules the loss-recovery timer for seq.
+func (r *RUDP) armRetransmit(pr *rudpPeer, seq uint32, pend *rudpPending) {
+	r.s.After(r.RTO, func() {
+		if pend.acked {
+			return
+		}
+		pend.tries++
+		if pend.tries > r.MaxRetries {
+			r.Err = fmt.Errorf("rudp: peer %d unreachable after %d retransmissions of seq %d", pend.dst, pend.tries-1, seq)
+			r.arrival.Broadcast()
+			return
+		}
+		r.Retransmits++
+		// Kernel-timer retransmission: wire costs only, no user syscall.
+		r.sock.sendRaw(pend.dst, pend.frame)
+		r.armRetransmit(pr, seq, pend)
+	})
+}
+
+// TryRecv drains arrivals and returns one in-order datagram if available,
+// without blocking.
+func (r *RUDP) TryRecv(p *sim.Proc, buf []byte) (n, src int, ok bool, err error) {
+	r.drain(p)
+	if len(r.delivered) > 0 {
+		d := r.delivered[0]
+		r.delivered = r.delivered[1:]
+		return copy(buf, d.Data), d.Src, true, nil
+	}
+	return 0, 0, false, r.Err
+}
+
+// MaxDatagram reports the largest payload Send accepts.
+func (r *RUDP) MaxDatagram() int { return r.sock.MaxDatagram() - rudpHeader }
+
+// OnArrival registers fn to run when raw datagrams arrive (event context).
+func (r *RUDP) OnArrival(fn func()) { r.sock.OnReadable(fn) }
+
+// Recv blocks for the next in-order datagram from any peer.
+func (r *RUDP) Recv(p *sim.Proc, buf []byte) (int, int, error) {
+	for {
+		r.drain(p)
+		if len(r.delivered) > 0 {
+			d := r.delivered[0]
+			r.delivered = r.delivered[1:]
+			return copy(buf, d.Data), d.Src, nil
+		}
+		if r.Err != nil {
+			return 0, 0, r.Err
+		}
+		r.arrival.Wait(p)
+	}
+}
+
+// Readable reports whether an in-order datagram is deliverable (after a
+// drain by the owning proc).
+func (r *RUDP) Readable() bool { return len(r.delivered) > 0 || r.sock.Readable() }
+
+// drain processes every queued raw datagram: data is ordered, deduplicated
+// and acked; acks clear retransmission state.
+func (r *RUDP) drain(p *sim.Proc) {
+	for r.sock.Readable() {
+		buf := make([]byte, r.sock.MaxDatagram())
+		n, src := r.sock.RecvFrom(p, buf)
+		if n < rudpHeader {
+			continue
+		}
+		flags := buf[0]
+		seq := binary.BigEndian.Uint32(buf[1:5])
+		ack := binary.BigEndian.Uint32(buf[5:9])
+		pr := r.peer(src)
+		if flags&rudpAck != 0 {
+			for s, pend := range pr.unacked {
+				if s < ack {
+					pend.acked = true
+					delete(pr.unacked, s)
+				}
+			}
+			r.arrival.Broadcast()
+			continue
+		}
+		payload := make([]byte, n-rudpHeader)
+		copy(payload, buf[rudpHeader:n])
+		switch {
+		case seq == pr.nextRecv:
+			pr.nextRecv++
+			r.delivered = append(r.delivered, Datagram{Src: src, Data: payload})
+			for {
+				next, ok := pr.stash[pr.nextRecv]
+				if !ok {
+					break
+				}
+				delete(pr.stash, pr.nextRecv)
+				r.delivered = append(r.delivered, Datagram{Src: src, Data: next})
+				pr.nextRecv++
+			}
+		case seq < pr.nextRecv:
+			r.Duplicates++ // retransmission of delivered data: just re-ack
+		default:
+			pr.stash[seq] = payload
+		}
+		r.sendAck(p, src, pr.nextRecv)
+	}
+}
+
+// sendAck transmits a cumulative ack through the full UDP path: the
+// syscall and protocol costs of acking are exactly the overhead that made
+// the paper's reliable-UDP MPI no faster than TCP.
+func (r *RUDP) sendAck(p *sim.Proc, dst int, cum uint32) {
+	frame := make([]byte, rudpHeader)
+	frame[0] = rudpAck
+	binary.BigEndian.PutUint32(frame[5:9], cum)
+	r.sock.SendTo(p, dst, frame)
+}

@@ -1,0 +1,253 @@
+package atm
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultTCPBuffer is the kernel socket buffer size: the receive window.
+const DefaultTCPBuffer = 64 * 1024
+
+// TCP is one end of an established TCP connection (connections are static
+// in the paper's setup, so connection establishment is out of scope). The
+// model implements what the paper's MPI rides on: a reliable ordered byte
+// stream with segmentation at the MSS, kernel protocol processing per
+// segment, user/kernel copies, and receiver-buffer flow control. Loss
+// recovery is not modeled — both testbed media are effectively lossless
+// and the paper treats TCP as a reliable stream (UDP reliability is
+// modeled separately in RUDP).
+type TCP struct {
+	cl   *Cluster
+	host int
+	med  Medium
+	peer *TCP
+
+	rq       []byte // kernel receive buffer (delivered, unread)
+	readable *sim.Cond
+	watchers []func() // arrival callbacks (event context)
+
+	sndCredit int // peer receive-buffer space we may consume
+	sndWait   *sim.Cond
+
+	// Nagle enables RFC 896 coalescing: while data is unacknowledged,
+	// sub-MSS writes are held and merged. Off by default — the paper's
+	// latency work presupposes TCP_NODELAY, and the MPI device writes each
+	// protocol message as a single frame precisely to keep small messages
+	// off this path.
+	Nagle bool
+	// DelayedAck enables 4.2BSD-style ack delay: acknowledgements (window
+	// updates) are withheld until two segments' worth is owed or the delay
+	// timer fires. Acks piggyback on reverse data immediately. The classic
+	// Nagle x DelayedAck interaction stalls one-way small-message streams
+	// by AckDelay per exchange.
+	DelayedAck bool
+	// AckDelay is the delayed-ack timer (0 = the classic 200 ms).
+	AckDelay sim.Duration
+
+	unacked  int    // bytes sent, not yet acknowledged
+	nagleQ   []byte // coalesced sub-MSS data awaiting an ack
+	owedAck  int    // window bytes not yet returned to the peer
+	ackTimer bool   // delayed-ack timer armed
+
+	// Stats for tests and instrumentation.
+	SegmentsOut int
+	BytesIn     int
+}
+
+// TCPPair establishes a connection between hosts h0 and h1 over medium k,
+// returning the two endpoints.
+func (cl *Cluster) TCPPair(h0, h1 int, k MediumKind) (*TCP, *TCP) {
+	m := cl.Medium(k)
+	a := &TCP{cl: cl, host: h0, med: m, readable: sim.NewCond(cl.S), sndWait: sim.NewCond(cl.S), sndCredit: DefaultTCPBuffer}
+	b := &TCP{cl: cl, host: h1, med: m, readable: sim.NewCond(cl.S), sndWait: sim.NewCond(cl.S), sndCredit: DefaultTCPBuffer}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Host reports the endpoint's host id.
+func (c *TCP) Host() int { return c.host }
+
+// MSS reports the maximum segment payload for the connection's medium.
+func (c *TCP) MSS() int { return c.med.MTU() - TCPIPHeader }
+
+// Write sends len(data) bytes down the stream, blocking (in virtual time)
+// on the receiver's window. It charges the syscall, the user-to-kernel
+// copy, checksumming, and per-segment protocol processing to p.
+func (c *TCP) Write(p *sim.Proc, data []byte) {
+	k := c.cl.Costs
+	p.Advance(k.SyscallWrite)
+	p.Advance(sim.Duration(len(data)) * (k.CopyPerByte + k.ChecksumPerByte))
+	mss := c.MSS()
+	for off := 0; off < len(data); off += mss {
+		end := off + mss
+		if end > len(data) {
+			end = len(data)
+		}
+		c.writeSegment(p, data[off:end])
+	}
+	if len(data) == 0 {
+		c.writeSegment(p, nil)
+	}
+}
+
+func (c *TCP) writeSegment(p *sim.Proc, seg []byte) {
+	if c.Nagle && c.unacked > 0 && len(c.nagleQ)+len(seg) < c.MSS() {
+		// Hold sub-MSS data while anything is in flight (RFC 896).
+		c.nagleQ = append(c.nagleQ, seg...)
+		return
+	}
+	if len(c.nagleQ) > 0 {
+		seg = append(append([]byte{}, c.nagleQ...), seg...)
+		c.nagleQ = nil
+	}
+	// A data transmission is an opportunity to piggyback any ack we owe.
+	c.flushOwedAck()
+	k := c.cl.Costs
+	for c.sndCredit < len(seg) {
+		c.sndWait.Wait(p)
+	}
+	c.sndCredit -= len(seg)
+	c.unacked += len(seg)
+	p.Advance(k.TCPPerSegment)
+	payload := make([]byte, len(seg))
+	copy(payload, seg)
+	c.SegmentsOut++
+	c.med.Deliver(c.host, c.peer.host, len(seg)+TCPIPHeader, DeliverOpts{}, func() {
+		// Receiver-side kernel input processing, then the data becomes
+		// readable.
+		c.cl.S.After(k.TCPPerSegment, func() {
+			c.peer.rq = append(c.peer.rq, payload...)
+			c.peer.BytesIn += len(payload)
+			c.peer.readable.Broadcast()
+			for _, fn := range c.peer.watchers {
+				fn()
+			}
+		})
+	})
+}
+
+// Read blocks until at least one byte is available, then transfers up to
+// len(buf) bytes to the caller, charging the read syscall, the
+// medium-dependent stack cost, and the kernel-to-user copy. It returns the
+// byte count. Reading frees window space, which flows back to the sender
+// as a window-update frame.
+func (c *TCP) Read(p *sim.Proc, buf []byte) int {
+	k := c.cl.Costs
+	p.Advance(k.SyscallRead + c.cl.readExtra(c.med.Kind()))
+	if len(c.rq) == 0 {
+		for len(c.rq) == 0 {
+			c.readable.Wait(p)
+		}
+		p.Advance(k.KernelWakeup)
+	}
+	n := copy(buf, c.rq)
+	c.rq = c.rq[n:]
+	p.Advance(sim.Duration(n) * k.CopyPerByte)
+	c.sendWindowUpdate(n)
+	return n
+}
+
+// ReadFull fills buf completely, looping over Read.
+func (c *TCP) ReadFull(p *sim.Proc, buf []byte) {
+	for off := 0; off < len(buf); {
+		off += c.Read(p, buf[off:])
+	}
+}
+
+// sendWindowUpdate returns n bytes of window to the peer via a bare-header
+// frame (the ack traffic of the model). With DelayedAck the update is
+// withheld until two MSS of window is owed or the delay timer fires.
+func (c *TCP) sendWindowUpdate(n int) {
+	if n == 0 {
+		return
+	}
+	if !c.DelayedAck {
+		c.transmitAck(n)
+		return
+	}
+	c.owedAck += n
+	if c.owedAck >= 2*c.MSS() {
+		c.flushOwedAck()
+		return
+	}
+	if !c.ackTimer {
+		c.ackTimer = true
+		delay := c.AckDelay
+		if delay == 0 {
+			delay = 200 * time.Millisecond
+		}
+		c.cl.S.After(delay, func() {
+			c.ackTimer = false
+			c.flushOwedAck()
+		})
+	}
+}
+
+// flushOwedAck transmits any withheld window update.
+func (c *TCP) flushOwedAck() {
+	if c.owedAck == 0 {
+		return
+	}
+	n := c.owedAck
+	c.owedAck = 0
+	c.transmitAck(n)
+}
+
+// transmitAck carries an n-byte window update (and acknowledgement) to the
+// peer, unblocking its window waiters and releasing Nagle-held data.
+func (c *TCP) transmitAck(n int) {
+	c.med.Deliver(c.host, c.peer.host, TCPIPHeader, DeliverOpts{}, func() {
+		p := c.peer
+		p.sndCredit += n
+		p.unacked -= n
+		if p.unacked < 0 {
+			p.unacked = 0
+		}
+		if p.Nagle && p.unacked == 0 && len(p.nagleQ) > 0 {
+			// The ack releases coalesced data; transmission happens in
+			// kernel context (timer/interrupt), like RUDP retransmits.
+			p.kernelFlushNagle()
+		}
+		p.sndWait.Broadcast()
+	})
+}
+
+// kernelFlushNagle transmits the coalesced queue from kernel context.
+func (c *TCP) kernelFlushNagle() {
+	seg := c.nagleQ
+	c.nagleQ = nil
+	if len(seg) > c.sndCredit {
+		// Window closed: put it back; the next update retries.
+		c.nagleQ = seg
+		return
+	}
+	k := c.cl.Costs
+	c.sndCredit -= len(seg)
+	c.unacked += len(seg)
+	payload := make([]byte, len(seg))
+	copy(payload, seg)
+	c.SegmentsOut++
+	c.med.Deliver(c.host, c.peer.host, len(seg)+TCPIPHeader, DeliverOpts{}, func() {
+		c.cl.S.After(k.TCPPerSegment, func() {
+			c.peer.rq = append(c.peer.rq, payload...)
+			c.peer.BytesIn += len(payload)
+			c.peer.readable.Broadcast()
+			for _, fn := range c.peer.watchers {
+				fn()
+			}
+		})
+	})
+}
+
+// Buffered reports how many received bytes are waiting in the kernel.
+func (c *TCP) Buffered() int { return len(c.rq) }
+
+// Readable reports whether a Read would return without blocking.
+func (c *TCP) Readable() bool { return len(c.rq) > 0 }
+
+// OnReadable registers fn to run whenever new bytes become readable; used
+// by pollers that watch many connections. fn runs in event context.
+func (c *TCP) OnReadable(fn func()) {
+	c.watchers = append(c.watchers, fn)
+}

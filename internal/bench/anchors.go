@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atm"
+	pmeiko "repro/platform/meiko"
+)
+
+// Anchor is one calibration target from the paper, with the measured value.
+type Anchor struct {
+	Name      string
+	Unit      string
+	Paper     float64
+	Measured  float64
+	Tolerance float64 // acceptable relative error
+}
+
+// Within reports whether the measurement sits inside the tolerance band.
+func (a Anchor) Within() bool {
+	if a.Paper == 0 {
+		return false
+	}
+	rel := (a.Measured - a.Paper) / a.Paper
+	if rel < 0 {
+		rel = -rel
+	}
+	return rel <= a.Tolerance
+}
+
+// Anchors measures every calibration anchor of DESIGN.md §6 and returns
+// the paper-vs-measured table — the single source of truth behind the
+// calibration tests.
+func Anchors(o Opts) ([]Anchor, error) {
+	o = o.Norm()
+	iters := o.Iters * 2
+
+	tport := TportPingPong(1, iters)
+	lowlat, err := MeikoPingPong(pmeiko.LowLatency, 0, 1, iters)
+	if err != nil {
+		return nil, err
+	}
+	mpich, err := MeikoPingPong(pmeiko.MPICH, 0, 1, iters)
+	if err != nil {
+		return nil, err
+	}
+	cross, err := Figure1Crossover()
+	if err != nil {
+		return nil, err
+	}
+	bw, err := MeikoBandwidth(pmeiko.LowLatency, 1<<20, 3)
+	if err != nil {
+		return nil, err
+	}
+	tcpEth := RawTCPPingPong(atm.OverEthernet, 1, iters)
+	tcpATM := RawTCPPingPong(atm.OverATM, 1, iters)
+
+	tab, err := Table1(o)
+	if err != nil {
+		return nil, err
+	}
+	readTypeEth := tab.Rows[2].Eth
+	readTypeATM := tab.Rows[2].ATM
+	match := tab.Rows[4].Eth
+
+	return []Anchor{
+		{"tport 1B round trip", "us", 52, tport, 0.06},
+		{"low-latency MPI 1B round trip", "us", 104, lowlat, 0.05},
+		{"MPICH 1B round trip", "us", 210, mpich, 0.06},
+		{"eager/rendezvous crossover", "bytes", 180, float64(cross), 0.20},
+		{"Meiko DMA bandwidth", "MB/s", 39, bw, 0.05},
+		{"tcp/eth 1B round trip", "us", 925, tcpEth, 0.05},
+		{"tcp/atm 1B round trip", "us", 1065, tcpATM, 0.05},
+		{"read for msg type (eth)", "us", 65, readTypeEth, 0.15},
+		{"read for msg type (atm)", "us", 85, readTypeATM, 0.15},
+		{"matching overhead", "us", 35, match, 0.15},
+	}, nil
+}
+
+// FormatAnchors renders the anchor table.
+func FormatAnchors(as []Anchor) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Calibration anchors (paper vs measured):\n")
+	fmt.Fprintf(&b, "%-34s %10s %10s %7s  %s\n", "anchor", "paper", "measured", "err", "ok")
+	for _, a := range as {
+		rel := (a.Measured - a.Paper) / a.Paper * 100
+		ok := "PASS"
+		if !a.Within() {
+			ok = "OUT OF BAND"
+		}
+		fmt.Fprintf(&b, "%-34s %8.1f%s %8.1f%s %+6.1f%%  %s\n", a.Name, a.Paper, a.Unit, a.Measured, a.Unit, rel, ok)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/atm"
+	"repro/mpi"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+// LinsolveMeiko runs the Figure 7 solver and reports the root's elapsed
+// seconds.
+func LinsolveMeiko(impl pmeiko.Impl, procs, n int) (float64, error) {
+	var el time.Duration
+	_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: impl}, func(c *mpi.Comm) error {
+		res, err := apps.Linsolve(c, apps.LinsolveConfig{N: n})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			el = res.Elapsed
+		}
+		return nil
+	})
+	return el.Seconds(), err
+}
+
+// Figure7 regenerates "Meiko Linear Equation Solver": time vs processes
+// for the MPICH and low-latency implementations.
+func Figure7(o Opts) (Figure, error) {
+	o = o.Norm()
+	procs := []int{1, 2, 4, 8}
+	n := 64
+	if o.Full {
+		procs = []int{1, 2, 4, 8, 16, 32}
+		n = 128
+	}
+	var mpich, lowlat Series
+	mpich.Name = "mpich"
+	lowlat.Name = "low latency"
+	for _, p := range procs {
+		m, err := LinsolveMeiko(pmeiko.MPICH, p, n)
+		if err != nil {
+			return Figure{}, err
+		}
+		l, err := LinsolveMeiko(pmeiko.LowLatency, p, n)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpich.Points = append(mpich.Points, Point{p, m})
+		lowlat.Points = append(lowlat.Points, Point{p, l})
+	}
+	return Figure{
+		ID:     "Figure 7",
+		Title:  "Meiko Linear Equation Solver",
+		XLabel: "# processes",
+		YLabel: "s",
+		Series: []Series{mpich, lowlat},
+		Notes:  []string{"hardware broadcast vs MPICH's point-to-point broadcast"},
+	}, nil
+}
+
+// ParticlesMeiko runs the Figure 8 ring and reports the slowest rank's
+// elapsed microseconds.
+func ParticlesMeiko(impl pmeiko.Impl, procs, n int) (float64, error) {
+	rep, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: impl}, func(c *mpi.Comm) error {
+		_, err := apps.Particles(c, apps.ParticlesConfig{N: n, Seed: 1})
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(rep.MaxRankElapsed) / 1e3, nil
+}
+
+// Figure8 regenerates "Meiko Particle Pairwise Interactions": 24 particles
+// on 1-8 processes.
+func Figure8(o Opts) (Figure, error) {
+	o = o.Norm()
+	procs := []int{1, 2, 4, 8}
+	if o.Full {
+		procs = []int{1, 2, 3, 4, 6, 8}
+	}
+	var mpich, lowlat Series
+	mpich.Name = "mpich"
+	lowlat.Name = "low latency"
+	for _, p := range procs {
+		m, err := ParticlesMeiko(pmeiko.MPICH, p, 24)
+		if err != nil {
+			return Figure{}, err
+		}
+		l, err := ParticlesMeiko(pmeiko.LowLatency, p, 24)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpich.Points = append(mpich.Points, Point{p, m})
+		lowlat.Points = append(lowlat.Points, Point{p, l})
+	}
+	return Figure{
+		ID:     "Figure 8",
+		Title:  "Meiko Particle Pairwise Interactions (24 particles)",
+		XLabel: "# processors",
+		YLabel: "us",
+		Series: []Series{mpich, lowlat},
+	}, nil
+}
+
+// ParticlesCluster runs the Figure 9 ring over TCP and reports the slowest
+// rank's elapsed microseconds.
+func ParticlesCluster(net atm.MediumKind, procs, n int) (float64, error) {
+	rep, err := pcluster.Run(pcluster.Config{Hosts: procs, Transport: pcluster.TCP, Network: net}, func(c *mpi.Comm) error {
+		_, err := apps.Particles(c, apps.ParticlesConfig{N: n, Seed: 2, SecPerFlop: apps.SGISecPerFlop})
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(rep.MaxRankElapsed) / 1e3, nil
+}
+
+// Figure9 regenerates "TCP Particle Pairwise Interactions": 128 particles,
+// Ethernet vs ATM.
+func Figure9(o Opts) (Figure, error) {
+	o = o.Norm()
+	procs := []int{2, 4, 8}
+	var eth, am Series
+	eth.Name = "Ethernet"
+	am.Name = "ATM"
+	for _, p := range procs {
+		e, err := ParticlesCluster(atm.OverEthernet, p, 128)
+		if err != nil {
+			return Figure{}, err
+		}
+		a, err := ParticlesCluster(atm.OverATM, p, 128)
+		if err != nil {
+			return Figure{}, err
+		}
+		eth.Points = append(eth.Points, Point{p, e})
+		am.Points = append(am.Points, Point{p, a})
+	}
+	return Figure{
+		ID:     "Figure 9",
+		Title:  "TCP Particle Pairwise Interactions (128 particles)",
+		XLabel: "# processors",
+		YLabel: "us",
+		Series: []Series{eth, am},
+		Notes:  []string{"paper: ATM wins — no contention and larger messages exploit its bandwidth"},
+	}, nil
+}
+
+// MatMulMeiko regenerates the matrix-multiply result mentioned in §6.1
+// ("performance results are similar to that of the linear equation
+// solver").
+func MatMulMeiko(o Opts) (Figure, error) {
+	o = o.Norm()
+	procs := []int{1, 2, 4, 8}
+	n := 48
+	if o.Full {
+		procs = []int{1, 2, 4, 8, 16}
+		n = 96
+	}
+	var mpich, lowlat Series
+	mpich.Name = "mpich"
+	lowlat.Name = "low latency"
+	run := func(impl pmeiko.Impl, p int) (float64, error) {
+		var el time.Duration
+		_, err := pmeiko.Run(pmeiko.Config{Nodes: p, Impl: impl}, func(c *mpi.Comm) error {
+			res, err := apps.MatMul(c, apps.MatMulConfig{N: n})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				el = res.Elapsed
+			}
+			return nil
+		})
+		return el.Seconds(), err
+	}
+	for _, p := range procs {
+		m, err := run(pmeiko.MPICH, p)
+		if err != nil {
+			return Figure{}, err
+		}
+		l, err := run(pmeiko.LowLatency, p)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpich.Points = append(mpich.Points, Point{p, m})
+		lowlat.Points = append(lowlat.Points, Point{p, l})
+	}
+	return Figure{
+		ID:     "MatMul (§6.1)",
+		Title:  "Meiko Matrix Multiply",
+		XLabel: "# processes",
+		YLabel: "s",
+		Series: []Series{mpich, lowlat},
+	}, nil
+}

@@ -1,0 +1,117 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: the Meiko transfer-mechanism and latency/bandwidth plots
+// (Figures 1-3), the cluster transport comparisons (Figures 4-6, Table 1),
+// and the application results (Figures 7-9), plus ablations over the
+// design choices DESIGN.md calls out. cmd/repro and the root bench_test.go
+// both drive this package.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Opts tunes experiment effort.
+type Opts struct {
+	// Iters is the per-point repetition count (virtual time is
+	// deterministic, so iterations only smooth pipeline warmup).
+	Iters int
+	// Full widens sweeps to the paper's complete ranges.
+	Full bool
+}
+
+// Norm fills defaults.
+func (o Opts) Norm() Opts {
+	if o.Iters == 0 {
+		o.Iters = 5
+	}
+	return o
+}
+
+// Point is one measurement: X is the swept parameter (bytes, processes),
+// Y the measured value (µs, MB/s, seconds).
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated plot: the same series the paper draws.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// String renders the figure as an aligned text table, series as columns.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	// Collect the union of X values.
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xsort []int
+	for x := range xs {
+		xsort = append(xsort, x)
+	}
+	sort.Ints(xsort)
+
+	fmt.Fprintf(&b, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %18s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", f.YLabel)
+	for _, x := range xsort {
+		fmt.Fprintf(&b, "%12d", x)
+		for _, s := range f.Series {
+			y, ok := lookup(s, x)
+			if !ok {
+				fmt.Fprintf(&b, " %18s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %18.2f", y)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func lookup(s Series, x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// sizes helpers shared by the figures.
+func latencySizes(full bool) []int {
+	if full {
+		return []int{1, 4, 16, 32, 64, 96, 128, 160, 180, 200, 256, 384, 512, 1024, 2048, 4096}
+	}
+	return []int{1, 64, 180, 512, 2048}
+}
+
+func bandwidthSizes(full bool) []int {
+	if full {
+		return []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	return []int{16 << 10, 256 << 10}
+}

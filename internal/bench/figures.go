@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+// Figure1 regenerates "Meiko transfer mechanisms": round-trip time of the
+// buffering (eager) mechanism vs the no-buffering (rendezvous) mechanism,
+// whose intersection the paper measures at 180 bytes.
+func Figure1(o Opts) (Figure, error) {
+	o = o.Norm()
+	sizes := []int{1, 32, 64, 96, 128, 160, 180, 200, 232, 264, 320, 384, 448, 512}
+	if !o.Full {
+		sizes = []int{1, 64, 128, 180, 256, 384, 512}
+	}
+	var eager, rndv Series
+	eager.Name = "Buffering"
+	rndv.Name = "No buffering"
+	for _, n := range sizes {
+		e, err := MeikoPingPong(pmeiko.LowLatency, 1<<20, n, o.Iters) // force eager
+		if err != nil {
+			return Figure{}, err
+		}
+		r, err := MeikoPingPong(pmeiko.LowLatency, 1, n, o.Iters) // force rendezvous
+		if err != nil {
+			return Figure{}, err
+		}
+		eager.Points = append(eager.Points, Point{n, e})
+		rndv.Points = append(rndv.Points, Point{n, r})
+	}
+	cross, err := Figure1Crossover()
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "Figure 1",
+		Title:  "Meiko transfer mechanisms (round-trip time)",
+		XLabel: "bytes",
+		YLabel: "us",
+		Series: []Series{eager, rndv},
+		Notes:  []string{fmt.Sprintf("measured crossover ~%d bytes (paper: 180)", cross)},
+	}, nil
+}
+
+// Figure1Crossover scans for the eager/rendezvous break-even size.
+func Figure1Crossover() (int, error) {
+	lo := 0
+	for n := 16; n <= 512; n += 16 {
+		e, err := MeikoPingPong(pmeiko.LowLatency, 1<<20, n, 3)
+		if err != nil {
+			return 0, err
+		}
+		r, err := MeikoPingPong(pmeiko.LowLatency, 1, n, 3)
+		if err != nil {
+			return 0, err
+		}
+		if e <= r {
+			lo = n
+		} else {
+			return lo + 8, nil
+		}
+	}
+	return lo, nil
+}
+
+// Figure2 regenerates "Meiko round-trip latency": MPICH, the low-latency
+// implementation, and the raw tport widget.
+func Figure2(o Opts) (Figure, error) {
+	o = o.Norm()
+	var mpich, lowlat, tport Series
+	mpich.Name = "MPI(mpich)"
+	lowlat.Name = "MPI(low latency)"
+	tport.Name = "Meiko tport"
+	for _, n := range latencySizes(o.Full) {
+		m, err := MeikoPingPong(pmeiko.MPICH, 0, n, o.Iters)
+		if err != nil {
+			return Figure{}, err
+		}
+		l, err := MeikoPingPong(pmeiko.LowLatency, 0, n, o.Iters)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpich.Points = append(mpich.Points, Point{n, m})
+		lowlat.Points = append(lowlat.Points, Point{n, l})
+		tport.Points = append(tport.Points, Point{n, TportPingPong(n, o.Iters)})
+	}
+	return Figure{
+		ID:     "Figure 2",
+		Title:  "Meiko round-trip latency",
+		XLabel: "bytes",
+		YLabel: "us",
+		Series: []Series{mpich, lowlat, tport},
+		Notes:  []string{"paper anchors at 1 byte: tport 52, low latency 104, mpich 210 us"},
+	}, nil
+}
+
+// Figure3 regenerates "Meiko bandwidth" for large transfers.
+func Figure3(o Opts) (Figure, error) {
+	o = o.Norm()
+	var mpich, lowlat, tport Series
+	mpich.Name = "MPI(mpich)"
+	lowlat.Name = "MPI(low latency)"
+	tport.Name = "Meiko tport"
+	for _, n := range bandwidthSizes(o.Full) {
+		m, err := MeikoBandwidth(pmeiko.MPICH, n, 4)
+		if err != nil {
+			return Figure{}, err
+		}
+		l, err := MeikoBandwidth(pmeiko.LowLatency, n, 4)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpich.Points = append(mpich.Points, Point{n, m})
+		lowlat.Points = append(lowlat.Points, Point{n, l})
+		tport.Points = append(tport.Points, Point{n, TportBandwidth(n, 4)})
+	}
+	return Figure{
+		ID:     "Figure 3",
+		Title:  "Meiko bandwidth",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+		Series: []Series{mpich, lowlat, tport},
+		Notes:  []string{"paper: best DMA bandwidth of 39 MB/s nearly reached"},
+	}, nil
+}
+
+// Figure4 regenerates "ATM round-trip latency": TCP vs UDP vs Fore AAL4.
+func Figure4(o Opts) (Figure, error) {
+	o = o.Norm()
+	var tcp, udp, aal4 Series
+	tcp.Name = "TCP"
+	udp.Name = "UDP"
+	aal4.Name = "Fore aal4"
+	for _, n := range latencySizes(o.Full) {
+		tcp.Points = append(tcp.Points, Point{n, RawTCPPingPong(atm.OverATM, n, o.Iters)})
+		udp.Points = append(udp.Points, Point{n, RawUDPPingPong(atm.OverATM, n, o.Iters)})
+		aal4.Points = append(aal4.Points, Point{n, RawAAL4PingPong(n, o.Iters)})
+	}
+	return Figure{
+		ID:     "Figure 4",
+		Title:  "ATM round-trip latency (raw transports)",
+		XLabel: "bytes",
+		YLabel: "us",
+		Series: []Series{tcp, udp, aal4},
+		Notes:  []string{"paper: except for small sizes the protocols are indistinguishable (STREAMS overhead)"},
+	}, nil
+}
+
+// Figure5 regenerates "TCP round-trip latency": MPI over TCP vs raw TCP on
+// both media.
+func Figure5(o Opts) (Figure, error) {
+	o = o.Norm()
+	var mpiATM, mpiEth, tcpATM, tcpEth Series
+	mpiATM.Name = "mpi/tcp/atm"
+	mpiEth.Name = "mpi/tcp/eth"
+	tcpATM.Name = "tcp/atm"
+	tcpEth.Name = "tcp/eth"
+	sizes := latencySizes(o.Full)
+	sizes = append(sizes, 8192)
+	for _, n := range sizes {
+		a, err := ClusterPingPong(pcluster.TCP, atm.OverATM, n, o.Iters)
+		if err != nil {
+			return Figure{}, err
+		}
+		e, err := ClusterPingPong(pcluster.TCP, atm.OverEthernet, n, o.Iters)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpiATM.Points = append(mpiATM.Points, Point{n, a})
+		mpiEth.Points = append(mpiEth.Points, Point{n, e})
+		tcpATM.Points = append(tcpATM.Points, Point{n, RawTCPPingPong(atm.OverATM, n, o.Iters)})
+		tcpEth.Points = append(tcpEth.Points, Point{n, RawTCPPingPong(atm.OverEthernet, n, o.Iters)})
+	}
+	return Figure{
+		ID:     "Figure 5",
+		Title:  "TCP round-trip latency",
+		XLabel: "bytes",
+		YLabel: "us",
+		Series: []Series{mpiATM, mpiEth, tcpATM, tcpEth},
+		Notes:  []string{"paper anchors at 1 byte: tcp/eth 925, tcp/atm 1065 us; MPI adds envelope reads + matching"},
+	}, nil
+}
+
+// Figure6 regenerates "TCP bandwidth".
+func Figure6(o Opts) (Figure, error) {
+	o = o.Norm()
+	var mpiATM, mpiEth, tcpATM, tcpEth Series
+	mpiATM.Name = "mpi/tcp/atm"
+	mpiEth.Name = "mpi/tcp/eth"
+	tcpATM.Name = "tcp/atm"
+	tcpEth.Name = "tcp/eth"
+	sizes := []int{16 << 10, 64 << 10}
+	if o.Full {
+		sizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 512 << 10}
+	}
+	for _, n := range sizes {
+		a, err := ClusterBandwidth(pcluster.TCP, atm.OverATM, n, 4)
+		if err != nil {
+			return Figure{}, err
+		}
+		e, err := ClusterBandwidth(pcluster.TCP, atm.OverEthernet, n, 4)
+		if err != nil {
+			return Figure{}, err
+		}
+		mpiATM.Points = append(mpiATM.Points, Point{n, a})
+		mpiEth.Points = append(mpiEth.Points, Point{n, e})
+		tcpATM.Points = append(tcpATM.Points, Point{n, RawTCPBandwidth(atm.OverATM, 4*n)})
+		tcpEth.Points = append(tcpEth.Points, Point{n, RawTCPBandwidth(atm.OverEthernet, 4*n)})
+	}
+	return Figure{
+		ID:     "Figure 6",
+		Title:  "TCP bandwidth",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+		Series: []Series{mpiATM, mpiEth, tcpATM, tcpEth},
+	}, nil
+}
+
+// Table1Data is the regenerated Table 1: the MPI-over-TCP overhead
+// breakdown for a 1-byte message, per medium, derived from the engine's
+// cost accounting rather than subtraction.
+type Table1Data struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one line of the table (values in µs).
+type Table1Row struct {
+	Name     string
+	ATM, Eth float64
+}
+
+// String renders the table like the paper's.
+func (t Table1Data) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: MPI round-trip overheads with TCP\n")
+	fmt.Fprintf(&b, "%12s %12s   %s\n", "ATM", "Ethernet", "Overhead")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%9.0f us %9.0f us   %s\n", r.ATM, r.Eth, r.Name)
+	}
+	return b.String()
+}
+
+// Table1 regenerates the overhead breakdown.
+func Table1(o Opts) (Table1Data, error) {
+	o = o.Norm()
+	iters := o.Iters * 4
+	rawATM := RawTCPPingPong(atm.OverATM, 1, iters)
+	rawEth := RawTCPPingPong(atm.OverEthernet, 1, iters)
+	// The 25-byte protocol header's wire cost: raw RTT at 26 bytes minus
+	// raw RTT at 1 byte.
+	infoATM := RawTCPPingPong(atm.OverATM, 26, iters) - rawATM
+	infoEth := RawTCPPingPong(atm.OverEthernet, 26, iters) - rawEth
+
+	acctATM, err := clusterAcctPingPong(atm.OverATM, iters)
+	if err != nil {
+		return Table1Data{}, err
+	}
+	acctEth, err := clusterAcctPingPong(atm.OverEthernet, iters)
+	if err != nil {
+		return Table1Data{}, err
+	}
+	read := func(acct *core.Acct, label string) float64 {
+		if acct.Count[label] == 0 {
+			return 0
+		}
+		return float64(acct.Time[label]) / float64(acct.Count[label]) / 1e3
+	}
+	match := func(acct *core.Acct) float64 {
+		if acct.Count["recv"] == 0 {
+			return 0
+		}
+		return float64(acct.Time["match"]) / float64(acct.Count["recv"]) / 1e3
+	}
+	return Table1Data{Rows: []Table1Row{
+		{"1 byte round-trip latency", rawATM, rawEth},
+		{"25 byte info overhead (round trip)", infoATM, infoEth},
+		{"Read for msg type", read(acctATM, "read-type"), read(acctEth, "read-type")},
+		{"Read for envelope", read(acctATM, "read-env"), read(acctEth, "read-env")},
+		{"Overheads for matching", match(acctATM), match(acctEth)},
+	}}, nil
+}

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/meiko"
+	"repro/internal/sim"
+	"repro/mpi"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+// ---- MPI-level measurement primitives --------------------------------
+
+// mpiPingPong runs an n-byte ping-pong for iters round trips under any
+// world and reports the mean RTT in microseconds.
+func mpiPingPong(w *mpi.World, n, iters int) (float64, error) {
+	var rtt time.Duration
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		data := make([]byte, n)
+		buf := make([]byte, n)
+		if c.Rank() == 0 {
+			start := c.Wtime()
+			for i := 0; i < iters; i++ {
+				if err := c.Send(1, 0, data); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, buf); err != nil {
+					return err
+				}
+			}
+			rtt = (c.Wtime() - start) / time.Duration(iters)
+			return nil
+		}
+		if c.Rank() == 1 {
+			for i := 0; i < iters; i++ {
+				if _, err := c.Recv(0, 0, buf); err != nil {
+					return err
+				}
+				if err := c.Send(0, 0, data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return float64(rtt) / 1e3, err
+}
+
+// mpiBandwidth streams iters chunks one way and reports MB/s.
+func mpiBandwidth(w *mpi.World, chunk, iters int) (float64, error) {
+	var elapsed time.Duration
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			data := make([]byte, chunk)
+			for i := 0; i < iters; i++ {
+				if err := c.Send(1, 0, data); err != nil {
+					return err
+				}
+			}
+			_, err := c.Recv(1, 1, make([]byte, 1))
+			return err
+		}
+		if c.Rank() == 1 {
+			buf := make([]byte, chunk)
+			for i := 0; i < iters; i++ {
+				if _, err := c.Recv(0, 0, buf); err != nil {
+					return err
+				}
+			}
+			elapsed = c.Wtime()
+			return c.Send(0, 1, []byte{1})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(chunk*iters) / elapsed.Seconds() / 1e6, nil
+}
+
+// MeikoPingPong measures the MPI RTT on the Meiko. eager == 0 uses the
+// default 180-byte crossover.
+func MeikoPingPong(impl pmeiko.Impl, eager, size, iters int) (float64, error) {
+	w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: 2, Impl: impl, Eager: eager})
+	return mpiPingPong(w, size, iters)
+}
+
+// MeikoBandwidth measures one-way MPI bandwidth on the Meiko in MB/s.
+func MeikoBandwidth(impl pmeiko.Impl, chunk, iters int) (float64, error) {
+	w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: 2, Impl: impl})
+	return mpiBandwidth(w, chunk, iters)
+}
+
+// ClusterPingPong measures the MPI RTT on the cluster.
+func ClusterPingPong(tr pcluster.TransportKind, net atm.MediumKind, size, iters int) (float64, error) {
+	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: tr, Network: net})
+	return mpiPingPong(w, size, iters)
+}
+
+// ClusterBandwidth measures one-way MPI bandwidth on the cluster in MB/s.
+func ClusterBandwidth(tr pcluster.TransportKind, net atm.MediumKind, chunk, iters int) (float64, error) {
+	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: tr, Network: net})
+	return mpiBandwidth(w, chunk, iters)
+}
+
+// ---- raw substrate primitives ----------------------------------------
+
+// TportPingPong measures the raw tport widget RTT (Figure 2's base line).
+func TportPingPong(size, iters int) float64 {
+	s := sim.NewScheduler(1)
+	s.MaxEvents = 100_000_000
+	m := meiko.NewMachine(s, 2, meiko.DefaultCosts())
+	t0 := m.NewTport(m.Nodes[0])
+	t1 := m.NewTport(m.Nodes[1])
+	data := make([]byte, size)
+	var rtt sim.Duration
+	s.Spawn("n0", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			t0.Send(p, 1, 7, data)
+			t0.Recv(p, 7, ^uint64(0), buf)
+		}
+		rtt = sim.Duration(p.Now()-start) / sim.Duration(iters)
+	})
+	s.Spawn("n1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			t1.Recv(p, 7, ^uint64(0), buf)
+			t1.Send(p, 0, 7, data)
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("tport pingpong: %v", err))
+	}
+	return float64(rtt) / 1e3
+}
+
+// TportBandwidth measures raw tport streaming bandwidth in MB/s.
+func TportBandwidth(chunk, iters int) float64 {
+	s := sim.NewScheduler(1)
+	s.MaxEvents = 100_000_000
+	m := meiko.NewMachine(s, 2, meiko.DefaultCosts())
+	t0 := m.NewTport(m.Nodes[0])
+	t1 := m.NewTport(m.Nodes[1])
+	var elapsed sim.Duration
+	s.Spawn("tx", func(p *sim.Proc) {
+		data := make([]byte, chunk)
+		for i := 0; i < iters; i++ {
+			t0.Send(p, 1, 7, data)
+		}
+	})
+	s.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, chunk)
+		for i := 0; i < iters; i++ {
+			t1.Recv(p, 7, ^uint64(0), buf)
+		}
+		elapsed = sim.Duration(p.Now())
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("tport bandwidth: %v", err))
+	}
+	return float64(chunk*iters) / elapsed.Seconds() / 1e6
+}
+
+// rawCluster builds a fresh cluster for a raw-transport measurement.
+func rawCluster() (*sim.Scheduler, *atm.Cluster) {
+	s := sim.NewScheduler(1)
+	s.MaxEvents = 100_000_000
+	return s, atm.NewCluster(s, 2, atm.DefaultCosts())
+}
+
+// RawTCPPingPong measures raw TCP RTT on the given medium in µs.
+func RawTCPPingPong(net atm.MediumKind, size, iters int) float64 {
+	s, cl := rawCluster()
+	a, b := cl.TCPPair(0, 1, net)
+	msg := make([]byte, size)
+	var rtt sim.Duration
+	s.Spawn("h0", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			a.Write(p, msg)
+			a.ReadFull(p, buf)
+		}
+		rtt = sim.Duration(p.Now()-start) / sim.Duration(iters)
+	})
+	s.Spawn("h1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			b.ReadFull(p, buf)
+			b.Write(p, msg)
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("tcp pingpong: %v", err))
+	}
+	return float64(rtt) / 1e3
+}
+
+// RawTCPBandwidth measures one-way raw TCP throughput in MB/s.
+func RawTCPBandwidth(net atm.MediumKind, total int) float64 {
+	s, cl := rawCluster()
+	a, b := cl.TCPPair(0, 1, net)
+	var elapsed sim.Duration
+	s.Spawn("tx", func(p *sim.Proc) {
+		const chunk = 32 * 1024
+		for sent := 0; sent < total; sent += chunk {
+			n := chunk
+			if total-sent < n {
+				n = total - sent
+			}
+			a.Write(p, make([]byte, n))
+		}
+	})
+	s.Spawn("rx", func(p *sim.Proc) {
+		buf := make([]byte, total)
+		b.ReadFull(p, buf)
+		elapsed = sim.Duration(p.Now())
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("tcp bandwidth: %v", err))
+	}
+	return float64(total) / elapsed.Seconds() / 1e6
+}
+
+// RawUDPPingPong measures raw (unreliable) UDP RTT in µs.
+func RawUDPPingPong(net atm.MediumKind, size, iters int) float64 {
+	s, cl := rawCluster()
+	u0 := cl.UDPSocket(0, net)
+	u1 := cl.UDPSocket(1, net)
+	var rtt sim.Duration
+	s.Spawn("h0", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			u0.SendTo(p, 1, make([]byte, size))
+			u0.RecvFrom(p, buf)
+		}
+		rtt = sim.Duration(p.Now()-start) / sim.Duration(iters)
+	})
+	s.Spawn("h1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			u1.RecvFrom(p, buf)
+			u1.SendTo(p, 0, make([]byte, size))
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("udp pingpong: %v", err))
+	}
+	return float64(rtt) / 1e3
+}
+
+// RawAAL4PingPong measures the Fore API AAL3/4 RTT in µs (ATM only).
+func RawAAL4PingPong(size, iters int) float64 {
+	s, cl := rawCluster()
+	a0 := cl.AAL4Socket(0)
+	a1 := cl.AAL4Socket(1)
+	var rtt sim.Duration
+	s.Spawn("h0", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			a0.SendTo(p, 1, make([]byte, size))
+			a0.RecvFrom(p, buf)
+		}
+		rtt = sim.Duration(p.Now()-start) / sim.Duration(iters)
+	})
+	s.Spawn("h1", func(p *sim.Proc) {
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			a1.RecvFrom(p, buf)
+			a1.SendTo(p, 0, make([]byte, size))
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		panic(fmt.Sprintf("aal4 pingpong: %v", err))
+	}
+	return float64(rtt) / 1e3
+}
+
+// clusterAcctPingPong runs a 1-byte MPI ping-pong and returns rank 1's
+// cost account plus the per-direction message count (Table 1's source).
+func clusterAcctPingPong(net atm.MediumKind, iters int) (*core.Acct, error) {
+	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: pcluster.TCP, Network: net})
+	rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		data := make([]byte, 1)
+		if c.Rank() == 0 {
+			for i := 0; i < iters; i++ {
+				if err := c.Send(1, 0, data); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 0, data); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := c.Recv(0, 0, data); err != nil {
+				return err
+			}
+			if err := c.Send(0, 0, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.RankAccts[1], nil
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SVG renders the figure as a standalone line chart, log-scaled on X when
+// the swept values span more than a decade (message sizes) and linear
+// otherwise (process counts). No dependencies; the output opens in any
+// browser next to the paper's plots.
+func (f Figure) SVG() string {
+	const (
+		w, h                      = 720, 440
+		mLeft, mRight, mTop, mBot = 70, 160, 40, 50
+	)
+	plotW := float64(w - mLeft - mRight)
+	plotH := float64(h - mTop - mBot)
+
+	var xs []int
+	seen := map[int]bool{}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Sprintf("<svg xmlns=%q width=%q height=%q/>", "http://www.w3.org/2000/svg", "10", "10")
+	}
+	sort.Ints(xs)
+	minX, maxX := float64(xs[0]), float64(xs[len(xs)-1])
+	logX := maxX/math.Max(minX, 1) > 12
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	// Pad the Y range and anchor at zero when it is close.
+	if minY > 0 && minY < maxY/3 {
+		minY = 0
+	}
+	maxY *= 1.05
+
+	xpos := func(x float64) float64 {
+		if logX {
+			lo, hi := math.Log(math.Max(minX, 1)), math.Log(math.Max(maxX, 2))
+			return float64(mLeft) + plotW*(math.Log(math.Max(x, 1))-lo)/(hi-lo)
+		}
+		if maxX == minX {
+			return float64(mLeft) + plotW/2
+		}
+		return float64(mLeft) + plotW*(x-minX)/(maxX-minX)
+	}
+	ypos := func(y float64) float64 {
+		return float64(mTop) + plotH*(1-(y-minY)/(maxY-minY))
+	}
+
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s: %s</text>`, mLeft, f.ID, xmlEscape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, mLeft, h-mBot, w-mRight, h-mBot)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, mLeft, mTop, mLeft, h-mBot)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`, mLeft+int(plotW/2), h-12, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`, mTop+int(plotH/2), mTop+int(plotH/2), xmlEscape(f.YLabel))
+
+	// X ticks at the swept values (thinned to <= 8 labels).
+	step := (len(xs) + 7) / 8
+	for i, x := range xs {
+		px := xpos(float64(x))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`, px, h-mBot, px, h-mBot+4)
+		if i%step == 0 || i == len(xs)-1 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, px, h-mBot+18, compactInt(x))
+		}
+	}
+	// Y ticks: five divisions.
+	for i := 0; i <= 5; i++ {
+		y := minY + (maxY-minY)*float64(i)/5
+		py := ypos(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, mLeft, py, w-mRight, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`, mLeft-6, py+4, compactFloat(y))
+	}
+
+	// Series.
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var poly []string
+		for _, p := range pts {
+			poly = append(poly, fmt.Sprintf("%.1f,%.1f", xpos(float64(p.X)), ypos(p.Y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(poly, " "), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, xpos(float64(p.X)), ypos(p.Y), color)
+		}
+		// Legend.
+		ly := mTop + 10 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, w-mRight+10, ly, w-mRight+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, w-mRight+36, ly+4, xmlEscape(s.Name))
+	}
+	for i, n := range f.Notes {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="#555">%s</text>`, mLeft, h-mBot+34+i*12, xmlEscape(n))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func compactInt(x int) string {
+	switch {
+	case x >= 1<<20 && x%(1<<20) == 0:
+		return fmt.Sprintf("%dM", x>>20)
+	case x >= 1024 && x%1024 == 0:
+		return fmt.Sprintf("%dK", x>>10)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func compactFloat(y float64) string {
+	switch {
+	case y >= 100000:
+		return fmt.Sprintf("%.0fk", y/1000)
+	case y >= 1000:
+		return fmt.Sprintf("%.1fk", y/1000)
+	case y >= 10:
+		return fmt.Sprintf("%.0f", y)
+	default:
+		return fmt.Sprintf("%.2f", y)
+	}
+}

@@ -1,0 +1,164 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/mpi"
+	pcluster "repro/platform/cluster"
+	pmeiko "repro/platform/meiko"
+)
+
+var seeds = []int64{1, 7, 42}
+
+func memFactory(n int) *mpi.World {
+	s := sim.NewScheduler(1)
+	s.MaxEvents = 50_000_000
+	fab := core.NewMemFabric(s, time.Microsecond, 180)
+	fab.Credits = 4096 // small, to exercise queued sends
+	eps := make([]core.Endpoint, n)
+	for i := range eps {
+		e := core.NewEngine(s, i, n, core.EngineCosts{}, nil)
+		fab.Attach(e)
+		eps[i] = e
+	}
+	return mpi.NewWorld(s, eps)
+}
+
+func TestMemFabric(t *testing.T) {
+	if err := Run(memFactory, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeikoLowLatency(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency})
+		return w
+	}
+	if err := Run(f, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeikoMPICH(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.MPICH})
+		return w
+	}
+	if err := Run(f, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterTCPOverATM(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM})
+		return w
+	}
+	if err := Run(f, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterTCPOverEthernet(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverEthernet})
+		return w
+	}
+	if err := Run(f, seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterUDPOverATM(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UDP, Network: atm.OverATM})
+		return w
+	}
+	if err := Run(f, seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterUDPWithLoss(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UDP, Network: atm.OverATM, LossRate: 0.03})
+		return w
+	}
+	if err := Run(f, seeds[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tight flow control: tiny credit reservations force heavy queuing; the
+// suite must still pass (ordering preserved through the pending queues).
+func TestClusterTightCredits(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM, CreditBytes: 2048, Eager: 1000})
+		return w
+	}
+	if err := Run(f, seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A tiny Meiko eager threshold forces everything through rendezvous.
+func TestMeikoAllRendezvous(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency, Eager: 1})
+		return w
+	}
+	if err := Run(f, seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The staged fat-tree congestion model must not change semantics.
+func TestMeikoFatTree(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency, FatTree: true})
+		return w
+	}
+	if err := Run(f, seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The U-Net user-level transport (the paper's future-work direction) must
+// provide identical MPI semantics.
+func TestClusterUNet(t *testing.T) {
+	f := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UNET, Network: atm.OverATM})
+		return w
+	}
+	if err := Run(f, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Soak: a heavier randomized schedule over more seeds on the two primary
+// platforms.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	long := []int64{11, 23, 37, 59, 71}
+	f := func(n int) *mpi.World {
+		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency})
+		return w
+	}
+	if err := Run(f, long); err != nil {
+		t.Fatal(err)
+	}
+	g := func(n int) *mpi.World {
+		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM})
+		return w
+	}
+	if err := Run(g, long[:3]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Cost-accounting labels. Every microsecond the model charges is tagged
+// with one of these categories, so the harness can print Table 1's overhead
+// breakdown from counters instead of subtraction.
+const (
+	CostWire     = "wire"     // serialization + propagation on the network
+	CostSyscall  = "syscall"  // kernel boundary crossings (read/write)
+	CostKernel   = "kernel"   // in-kernel protocol and driver processing
+	CostCopy     = "copy"     // memory copies (bounce buffer, pack/unpack)
+	CostMatch    = "match"    // send/receive matching
+	CostProtocol = "protocol" // envelope construction, header bytes, credits
+	CostSync     = "sync"     // SPARC <-> Elan (or proc <-> NIC) synchronization
+	CostCompute  = "compute"  // application computation (apps only)
+	CostOverhead = "overhead" // per-call library bookkeeping
+)
+
+// Acct accumulates charged time per category and event counters per name.
+// One Acct exists per rank; charging advances the owning proc's virtual
+// clock, so the books always reconcile with elapsed time the proc spent.
+type Acct struct {
+	Time  map[string]sim.Duration
+	Count map[string]int64
+}
+
+// NewAcct returns an empty account.
+func NewAcct() *Acct {
+	return &Acct{Time: make(map[string]sim.Duration), Count: make(map[string]int64)}
+}
+
+// Charge advances p by d and books it under label. A nil Acct still
+// advances the proc (devices use this for contexts without books).
+func (a *Acct) Charge(p *sim.Proc, label string, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.Advance(d)
+	if a != nil {
+		a.Time[label] += d
+	}
+}
+
+// Book records d under label without advancing any proc. Used for costs
+// paid on device timelines (Elan occupancy, NIC processing) that still
+// belong in the breakdown.
+func (a *Acct) Book(label string, d sim.Duration) {
+	if a != nil && d > 0 {
+		a.Time[label] += d
+	}
+}
+
+// Incr bumps the event counter name by n.
+func (a *Acct) Incr(name string, n int64) {
+	if a != nil {
+		a.Count[name] += n
+	}
+}
+
+// Total reports the sum of all booked time.
+func (a *Acct) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range a.Time {
+		t += d
+	}
+	return t
+}
+
+// Merge adds other's books into a.
+func (a *Acct) Merge(other *Acct) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Time {
+		a.Time[k] += v
+	}
+	for k, v := range other.Count {
+		a.Count[k] += v
+	}
+}
+
+// String renders the account sorted by label, microseconds.
+func (a *Acct) String() string {
+	var labels []string
+	for k := range a.Time {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	for _, k := range labels {
+		fmt.Fprintf(&b, "%-10s %10.1f us\n", k, float64(a.Time[k])/1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestAcctChargeAdvancesAndBooks(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a := NewAcct()
+	s.Spawn("p", func(p *sim.Proc) {
+		a.Charge(p, CostWire, 5*time.Microsecond)
+		a.Charge(p, CostWire, 3*time.Microsecond)
+		a.Charge(p, CostCopy, 0) // zero: no-op
+		if p.Now() != sim.Time(8*time.Microsecond) {
+			t.Errorf("proc at %v, want 8us", p.Now())
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Time[CostWire] != 8*time.Microsecond {
+		t.Fatalf("wire = %v", a.Time[CostWire])
+	}
+	if _, ok := a.Time[CostCopy]; ok {
+		t.Fatal("zero charge booked")
+	}
+	if a.Total() != 8*time.Microsecond {
+		t.Fatalf("total = %v", a.Total())
+	}
+}
+
+func TestAcctNilSafe(t *testing.T) {
+	s := sim.NewScheduler(1)
+	var a *Acct
+	s.Spawn("p", func(p *sim.Proc) {
+		a.Charge(p, CostWire, time.Microsecond) // must still advance
+		if p.Now() != sim.Time(time.Microsecond) {
+			t.Errorf("nil acct did not advance proc")
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a.Book(CostWire, time.Microsecond) // no panic
+	a.Incr("x", 1)                     // no panic
+}
+
+func TestAcctMergeAndString(t *testing.T) {
+	a, b := NewAcct(), NewAcct()
+	a.Book(CostMatch, 10*time.Microsecond)
+	a.Incr("send", 2)
+	b.Book(CostMatch, 5*time.Microsecond)
+	b.Book(CostSync, time.Microsecond)
+	b.Incr("send", 3)
+	a.Merge(b)
+	if a.Time[CostMatch] != 15*time.Microsecond || a.Time[CostSync] != time.Microsecond {
+		t.Fatalf("merge: %+v", a.Time)
+	}
+	if a.Count["send"] != 5 {
+		t.Fatalf("counters: %+v", a.Count)
+	}
+	out := a.String()
+	if !strings.Contains(out, "match") || !strings.Contains(out, "15.0 us") {
+		t.Fatalf("render:\n%s", out)
+	}
+	a.Merge(nil) // no panic
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeStandard: "standard", ModeSync: "sync", ModeReady: "ready", ModeBuffered: "buffered",
+	} {
+		if m.String() != want {
+			t.Fatalf("%d = %q", m, m.String())
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode renders empty")
+	}
+}
+
+func TestPacketKindStrings(t *testing.T) {
+	for k, want := range map[PacketKind]string{
+		PktEager: "eager", PktRTS: "rts", PktCTS: "cts", PktData: "data", PktSyncAck: "syncack", PktCredit: "credit",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q", k, k.String())
+		}
+	}
+	if PacketKind(99).String() != "unknown" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	err := Errorf(ErrTruncate, "lost %d bytes", 5)
+	if err.Code != ErrTruncate || !strings.Contains(err.Error(), "lost 5 bytes") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Host-side throughput of the protocol engine over the reference
+// transport: how many simulated MPI messages per wall-clock second.
+
+func benchPingPong(b *testing.B, size int) {
+	s := sim.NewScheduler(1)
+	fab := NewMemFabric(s, time.Microsecond, 180)
+	e0 := NewEngine(s, 0, 2, EngineCosts{}, nil)
+	e1 := NewEngine(s, 1, 2, EngineCosts{}, nil)
+	fab.Attach(e0)
+	fab.Attach(e1)
+	data := make([]byte, size)
+	buf := make([]byte, size)
+	s.Spawn("r0", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			req, _ := e0.Isend(p, 1, 0, 0, ModeStandard, data)
+			e0.Wait(p, req)
+			rr, _ := e0.Irecv(p, 1, 0, 0, buf)
+			e0.Wait(p, rr)
+		}
+	})
+	s.Spawn("r1", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			rr, _ := e1.Irecv(p, 0, 0, 0, buf)
+			e1.Wait(p, rr)
+			req, _ := e1.Isend(p, 0, 0, 0, ModeStandard, data)
+			e1.Wait(p, req)
+		}
+	})
+	b.SetBytes(int64(2 * size))
+	b.ResetTimer()
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEnginePingPong(b *testing.B) {
+	for _, size := range []int{16, 1024, 65536} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) { benchPingPong(b, size) })
+	}
+}
+
+func BenchmarkMatcherArrive(b *testing.B) {
+	var m Matcher
+	for i := 0; i < 64; i++ {
+		m.PostRecv(&Request{IsRecv: true, Env: Envelope{Source: i, Tag: i, Context: 0}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := Envelope{Source: i % 64, Tag: i % 64, Context: 0}
+		if r := m.Arrive(env); r != nil {
+			m.PostRecv(r) // repost to keep the queue full
+		}
+	}
+}

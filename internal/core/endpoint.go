@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/sim"
+
+// Endpoint is the per-rank device interface the mpi package drives. The
+// poll-model Engine (the paper's low-latency design) implements it, and so
+// does the MPICH-over-tport baseline on the Meiko — they differ exactly in
+// where matching runs (main CPU vs communications co-processor), which is
+// the comparison of Figure 2.
+type Endpoint interface {
+	Rank() int
+	Size() int
+	Acct() *Acct
+	Scheduler() *sim.Scheduler
+
+	Isend(p *sim.Proc, dst, tag, ctx int, mode Mode, data []byte) (*Request, error)
+	Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, error)
+	Wait(p *sim.Proc, r *Request) (Status, error)
+	Test(p *sim.Proc, r *Request) (Status, bool, error)
+	Probe(p *sim.Proc, src, tag, ctx int) (Status, error)
+	Iprobe(p *sim.Proc, src, tag, ctx int) (Status, bool, error)
+	Cancel(p *sim.Proc, r *Request) error
+	BufferAttach(n int)
+	BufferDetach() int
+
+	// Finalize drives progress until no locally-initiated transfer still
+	// needs this process (MPI_Finalize's completion guarantee: buffered
+	// sends are delivered even if the application makes no further MPI
+	// calls). It must not wait for unmatched receives.
+	Finalize(p *sim.Proc)
+}
+
+var _ Endpoint = (*Engine)(nil)
+
+// HWBcaster is implemented by endpoints whose platform has a hardware
+// broadcast (the Meiko CS/2). All ranks of the context must call HWBcast
+// collectively; buf is the payload at the root and the destination
+// elsewhere.
+type HWBcaster interface {
+	HWBcast(p *sim.Proc, root, ctx int, buf []byte) error
+}
+
+// NewRequest builds a bare request for alternative Endpoint
+// implementations (e.g. the tport-based MPICH baseline), which manage
+// completion themselves via Complete.
+func NewRequest(isRecv bool, env Envelope, buf []byte) *Request {
+	return &Request{IsRecv: isRecv, Env: env, Buf: buf}
+}
+
+// Complete finishes the request with the given status and error; exported
+// for alternative Endpoint implementations.
+func (r *Request) Complete(st Status, err error) { r.complete(st, err) }
+
+// MarkCancelled flags the request as cancelled; exported for alternative
+// Endpoint implementations.
+func (r *Request) MarkCancelled() { r.cancelled = true }

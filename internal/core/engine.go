@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EngineCosts are the engine-level charges of the poll-model (SPARC
+// matching) design. Wire, kernel and co-processor time belongs to the
+// transport; the engine charges what the main CPU does: matching, bounce
+// copies, and per-call bookkeeping.
+type EngineCosts struct {
+	Match        sim.Duration // per matching attempt (arrival or post)
+	CopyBase     sim.Duration // fixed cost of a bounce-buffer copy
+	CopyPerByte  sim.Duration // per-byte bounce-to-user copy cost
+	SendOverhead sim.Duration // per-send library bookkeeping
+	RecvOverhead sim.Duration // per-receive library bookkeeping
+}
+
+// Engine is one rank's poll-model MPI engine: the paper's low-latency
+// design, where matching runs on the main processor inside MPI calls rather
+// than on a communications co-processor. Exactly one proc (the rank's
+// process) calls its methods; transports may additionally invoke the
+// completion upcalls from scheduler/event context.
+type Engine struct {
+	rank  int
+	size  int
+	s     *sim.Scheduler
+	tr    Transport
+	costs EngineCosts
+	acct  *Acct
+
+	match   Matcher
+	cond    *sim.Cond
+	nextID  int64
+	seq     map[int]uint64 // per-destination envelope sequence
+	pending map[int64]*Request
+
+	// Buffered-send (Bsend) space accounting.
+	bufCap  int
+	bufUsed int
+
+	// Errors records asynchronous protocol errors (e.g. a ready-mode send
+	// arriving with no posted receive), which MPI cannot attach to any
+	// particular call at the receiver.
+	Errors []error
+
+	// Trace, when set, receives a timeline event per protocol action.
+	Trace *trace.Log
+}
+
+// SetTrace attaches a timeline log (the profiling interface).
+func (e *Engine) SetTrace(l *trace.Log) { e.Trace = l }
+
+// trc records an event if tracing is enabled.
+func (e *Engine) trc(kind trace.Kind, peer, tag, bytes int, note string) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.Add(trace.Event{T: e.s.Now(), Rank: e.rank, Kind: kind, Peer: peer, Tag: tag, Bytes: bytes, Note: note})
+}
+
+// NewEngine returns an engine for the given rank of a size-rank job.
+func NewEngine(s *sim.Scheduler, rank, size int, costs EngineCosts, acct *Acct) *Engine {
+	if acct == nil {
+		acct = NewAcct()
+	}
+	return &Engine{
+		rank:    rank,
+		size:    size,
+		s:       s,
+		costs:   costs,
+		acct:    acct,
+		cond:    sim.NewCond(s),
+		seq:     make(map[int]uint64),
+		pending: make(map[int64]*Request),
+	}
+}
+
+// SetTransport attaches the platform transport; must be called before use.
+func (e *Engine) SetTransport(tr Transport) { e.tr = tr }
+
+// Transport reports the attached transport.
+func (e *Engine) Transport() Transport { return e.tr }
+
+// Rank reports this engine's rank.
+func (e *Engine) Rank() int { return e.rank }
+
+// Size reports the job size.
+func (e *Engine) Size() int { return e.size }
+
+// Acct reports the engine's cost account.
+func (e *Engine) Acct() *Acct { return e.acct }
+
+// Scheduler reports the simulation scheduler.
+func (e *Engine) Scheduler() *sim.Scheduler { return e.s }
+
+// BufferAttach provides n bytes of buffered-send space (MPI_Buffer_attach).
+func (e *Engine) BufferAttach(n int) { e.bufCap = n }
+
+// BufferDetach removes the buffered-send buffer, returning its size.
+func (e *Engine) BufferDetach() int {
+	n := e.bufCap
+	e.bufCap = 0
+	return n
+}
+
+// ---------------------------------------------------------------- sends --
+
+// Isend starts a nonblocking send of data to dst with the given tag,
+// communicator context and mode. The returned request completes according
+// to the mode's semantics.
+func (e *Engine) Isend(p *sim.Proc, dst, tag, ctx int, mode Mode, data []byte) (*Request, error) {
+	if dst < 0 || dst >= e.size {
+		return nil, Errorf(ErrInternal, "send to invalid rank %d (size %d)", dst, e.size)
+	}
+	e.nextID++
+	e.seq[dst]++
+	req := &Request{
+		ID: e.nextID,
+		Env: Envelope{
+			Source:  e.rank,
+			Dest:    dst,
+			Tag:     tag,
+			Context: ctx,
+			Count:   len(data),
+			Seq:     e.seq[dst],
+			Mode:    mode,
+			SendID:  e.nextID,
+		},
+		Buf: data,
+	}
+	e.pending[req.ID] = req
+	e.acct.Charge(p, CostOverhead, e.costs.SendOverhead)
+	e.acct.Incr("send", 1)
+	e.trc(trace.SendStart, dst, tag, len(data), mode.String())
+
+	if dst == e.rank {
+		return e.selfSend(p, req, mode, data)
+	}
+
+	switch mode {
+	case ModeSync:
+		req.ackWanted = true
+		e.tr.Send(p, req)
+	case ModeBuffered:
+		need := len(data)
+		if e.bufUsed+need > e.bufCap {
+			delete(e.pending, req.ID)
+			return nil, Errorf(ErrBuffer, "buffered send of %d bytes exceeds attached buffer (%d of %d used)", need, e.bufUsed, e.bufCap)
+		}
+		e.bufUsed += need
+		// Copy into the attached buffer so the caller's storage is free to
+		// reuse immediately; transmission proceeds in the background.
+		stable := make([]byte, need)
+		copy(stable, data)
+		req.Buf = stable
+		e.acct.Charge(p, CostCopy, e.costs.CopyBase+sim.Duration(need)*e.costs.CopyPerByte)
+		req.buffered = true
+		e.tr.Send(p, req)
+		req.complete(Status{Source: dst, Tag: tag, Count: need}, nil)
+	default: // standard and ready
+		e.tr.Send(p, req)
+	}
+	req.sendMaybeComplete()
+	return req, nil
+}
+
+// selfSend delivers a message to this rank without touching the transport:
+// a memory copy through the matcher. All modes are locally complete except
+// synchronous, which still requires the matching receive.
+func (e *Engine) selfSend(p *sim.Proc, req *Request, mode Mode, data []byte) (*Request, error) {
+	stable := make([]byte, len(data))
+	copy(stable, data)
+	e.acct.Charge(p, CostCopy, e.costs.CopyBase+sim.Duration(len(data))*e.costs.CopyPerByte)
+	req.sent = true
+	if mode == ModeSync {
+		req.ackWanted = true
+	}
+	env := req.Env
+	e.acct.Charge(p, CostMatch, e.costs.Match)
+	e.trc(trace.Arrive, env.Source, env.Tag, env.Count, "self")
+	if rr := e.match.Arrive(env); rr != nil {
+		e.deliverMatched(p, &InMsg{Env: env, Data: stable}, rr)
+	} else {
+		if mode == ModeReady {
+			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode self-send (tag %d) before a matching receive was posted", env.Tag))
+		}
+		e.match.AddUnexpected(&InMsg{Env: env, Data: stable})
+	}
+	req.sendMaybeComplete()
+	e.retire(req)
+	return req, nil
+}
+
+// --------------------------------------------------------------- receives --
+
+// Irecv posts a nonblocking receive into buf matching (src, tag, ctx);
+// src may be AnySource and tag may be AnyTag.
+func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= e.size) {
+		return nil, Errorf(ErrInternal, "receive from invalid rank %d (size %d)", src, e.size)
+	}
+	e.nextID++
+	req := &Request{
+		ID:     e.nextID,
+		IsRecv: true,
+		Env:    Envelope{Source: src, Tag: tag, Context: ctx},
+		Buf:    buf,
+	}
+	// Drain arrivals first so the unexpected queue reflects true arrival
+	// order before this receive is considered (and so a ready-mode send
+	// that already arrived is correctly flagged as unmatched-at-arrival).
+	e.Progress(p)
+	e.pending[req.ID] = req
+	e.acct.Charge(p, CostOverhead, e.costs.RecvOverhead)
+	e.acct.Charge(p, CostMatch, e.costs.Match)
+	e.acct.Incr("recv", 1)
+	e.trc(trace.RecvPost, src, tag, len(buf), "")
+
+	if msg := e.match.PostRecv(req); msg != nil {
+		e.deliverMatched(p, msg, req)
+	}
+	return req, nil
+}
+
+// deliverMatched finishes the match of an in-queue message with receive req:
+// eager payloads are copied out of bounce space (and the space released);
+// rendezvous messages are accepted so the transport can move the payload.
+func (e *Engine) deliverMatched(p *sim.Proc, msg *InMsg, req *Request) {
+	req.matched = true
+	e.trc(trace.Match, msg.Env.Source, msg.Env.Tag, msg.Env.Count, "")
+	if msg.Rndv {
+		e.tr.Accept(p, msg, req)
+		return
+	}
+	n := len(msg.Data)
+	st := Status{Source: msg.Env.Source, Tag: msg.Env.Tag, Count: n}
+	var err error
+	if n > len(req.Buf) {
+		n = len(req.Buf)
+		st.Count = n
+		err = Errorf(ErrTruncate, "message of %d bytes truncated to %d-byte receive buffer", len(msg.Data), len(req.Buf))
+	}
+	copy(req.Buf[:n], msg.Data[:n])
+	e.acct.Charge(p, CostCopy, e.costs.CopyBase+sim.Duration(n)*e.costs.CopyPerByte)
+	if msg.Env.Source == e.rank {
+		// Self-message: no transport resources to release; a synchronous
+		// self-send acknowledges directly.
+		if msg.Env.Mode == ModeSync {
+			if sreq := e.pending[msg.Env.SendID]; sreq != nil {
+				sreq.acked = true
+				sreq.sendMaybeComplete()
+				e.retire(sreq)
+			}
+		}
+	} else {
+		e.tr.Release(p, msg.Env.Source, len(msg.Data))
+		if msg.Env.Mode == ModeSync {
+			e.tr.Control(p, msg.Env.Source, PktSyncAck, msg.Env)
+		}
+	}
+	req.complete(st, err)
+	e.retire(req)
+	e.trc(trace.RecvDone, st.Source, st.Tag, st.Count, "")
+	e.cond.Broadcast()
+}
+
+// ----------------------------------------------------------------- progress --
+
+// pollOnce surfaces and handles at most one transport packet, reporting
+// whether one was processed.
+func (e *Engine) pollOnce(p *sim.Proc) bool {
+	pkt := e.tr.Poll(p)
+	if pkt == nil {
+		return false
+	}
+	e.handle(p, pkt)
+	return true
+}
+
+// Progress drains all currently pending arrivals. It is invoked by every
+// blocking call and by Test/Iprobe — the poll model performs matching work
+// only inside MPI calls, which is precisely the latency/background-progress
+// trade the paper studies.
+func (e *Engine) Progress(p *sim.Proc) {
+	for e.pollOnce(p) {
+	}
+}
+
+func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
+	switch pkt.Kind {
+	case PktEager:
+		e.acct.Charge(p, CostMatch, e.costs.Match)
+		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "eager")
+		if req := e.match.Arrive(pkt.Env); req != nil {
+			e.deliverMatched(p, &InMsg{Env: pkt.Env, Data: pkt.Data}, req)
+			return
+		}
+		if pkt.Env.Mode == ModeReady {
+			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode send from rank %d (tag %d) arrived before a matching receive was posted", pkt.Env.Source, pkt.Env.Tag))
+		}
+		e.match.AddUnexpected(&InMsg{Env: pkt.Env, Data: pkt.Data})
+	case PktRTS:
+		e.acct.Charge(p, CostMatch, e.costs.Match)
+		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rts")
+		msg := &InMsg{Env: pkt.Env, Rndv: true, Handle: pkt.Handle}
+		if req := e.match.Arrive(pkt.Env); req != nil {
+			req.matched = true
+			e.trc(trace.Match, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rndv")
+			e.tr.Accept(p, msg, req)
+			return
+		}
+		if pkt.Env.Mode == ModeReady {
+			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode send from rank %d (tag %d) arrived before a matching receive was posted", pkt.Env.Source, pkt.Env.Tag))
+		}
+		e.match.AddUnexpected(msg)
+	case PktCTS:
+		req := e.pending[pkt.ReqID]
+		if req == nil {
+			e.Errors = append(e.Errors, Errorf(ErrInternal, "CTS for unknown send request %d", pkt.ReqID))
+			return
+		}
+		req.acked = true
+		e.tr.SendPayload(p, req, pkt)
+		req.sendMaybeComplete()
+		if req.Done() {
+			e.retire(req)
+		}
+		e.cond.Broadcast()
+	case PktSyncAck:
+		req := e.pending[pkt.ReqID]
+		if req == nil {
+			return // already completed (e.g. duplicate ack)
+		}
+		req.acked = true
+		req.sendMaybeComplete()
+		if req.Done() {
+			e.retire(req)
+		}
+		e.cond.Broadcast()
+	case PktData:
+		// Stream transports place the payload into the posted buffer before
+		// surfacing PktData; completion happens here so the copy/kernel
+		// charges land on the receiving proc.
+		req := e.pending[pkt.ReqID]
+		if req == nil {
+			e.Errors = append(e.Errors, Errorf(ErrInternal, "payload for unknown receive request %d", pkt.ReqID))
+			return
+		}
+		if pkt.Data != nil {
+			n := len(pkt.Data)
+			if n > len(req.Buf) {
+				n = len(req.Buf)
+			}
+			copy(req.Buf[:n], pkt.Data[:n])
+		}
+		e.finishRecvData(req, pkt.Env)
+	default:
+		e.Errors = append(e.Errors, Errorf(ErrInternal, "unexpected packet kind %v", pkt.Kind))
+	}
+}
+
+func (e *Engine) finishRecvData(req *Request, env Envelope) {
+	n := env.Count
+	st := Status{Source: env.Source, Tag: env.Tag, Count: n}
+	var err error
+	if n > len(req.Buf) {
+		st.Count = len(req.Buf)
+		err = Errorf(ErrTruncate, "message of %d bytes truncated to %d-byte receive buffer", n, len(req.Buf))
+	}
+	req.complete(st, err)
+	delete(e.pending, req.ID)
+	e.trc(trace.RecvDone, st.Source, st.Tag, st.Count, "rndv")
+	e.cond.Broadcast()
+}
+
+// retire drops a request from the pending table once nothing can still
+// reference it: receives when complete, sends only after the transport has
+// finished moving the data (a buffered rendezvous send is "done" for the
+// caller long before its CTS arrives).
+func (e *Engine) retire(req *Request) {
+	if !req.done {
+		return
+	}
+	if !req.IsRecv && !req.sent {
+		return
+	}
+	delete(e.pending, req.ID)
+}
+
+// ------------------------------------------------- transport upcalls --
+
+// SendDone marks req's local transmission complete. Callable from event
+// context (no time is charged).
+func (e *Engine) SendDone(req *Request) {
+	req.sent = true
+	e.trc(trace.SendDone, req.Env.Dest, req.Env.Tag, req.Env.Count, "")
+	if req.buffered {
+		e.bufUsed -= len(req.Buf)
+		if e.bufUsed < 0 {
+			e.bufUsed = 0
+		}
+	}
+	req.sendMaybeComplete()
+	if req.Done() {
+		e.retire(req)
+	}
+	e.cond.Broadcast()
+}
+
+// SendAcked marks a send request's match acknowledged: a rendezvous CTS
+// consumed by the platform (the Meiko Elan handles CTS without the engine)
+// or a synchronous-mode ack. Callable from event context.
+func (e *Engine) SendAcked(req *Request) {
+	req.acked = true
+	req.sendMaybeComplete()
+	e.retire(req)
+	e.cond.Broadcast()
+}
+
+// RecvDataDone marks a rendezvous payload fully landed in req.Buf (e.g. on
+// DMA completion). Callable from event context.
+func (e *Engine) RecvDataDone(req *Request, env Envelope) {
+	e.finishRecvData(req, env)
+}
+
+// Wake nudges procs blocked in Wait/Probe to re-poll; transports call it on
+// packet arrival. Callable from event context.
+func (e *Engine) Wake() { e.cond.Broadcast() }
+
+// -------------------------------------------------------- completion ops --
+
+// Wait blocks until r completes, making progress while waiting.
+func (e *Engine) Wait(p *sim.Proc, r *Request) (Status, error) {
+	for !r.Done() {
+		e.Progress(p)
+		if r.Done() {
+			break
+		}
+		e.cond.Wait(p)
+	}
+	e.retire(r)
+	return r.status, r.err
+}
+
+// Test makes progress and reports whether r has completed.
+func (e *Engine) Test(p *sim.Proc, r *Request) (Status, bool, error) {
+	e.Progress(p)
+	if !r.Done() {
+		return Status{}, false, nil
+	}
+	e.retire(r)
+	return r.status, true, r.err
+}
+
+// Cancel cancels a posted receive that has not yet matched. Cancelling
+// sends is not supported (as in most MPI implementations, it is best
+// avoided; the paper does not use it).
+func (e *Engine) Cancel(p *sim.Proc, r *Request) error {
+	if !r.IsRecv {
+		return Errorf(ErrInternal, "cancel of send requests is not supported")
+	}
+	if r.Done() {
+		return nil
+	}
+	if e.match.CancelRecv(r) {
+		r.cancelled = true
+		r.complete(Status{}, nil)
+		e.retire(r)
+	}
+	return nil
+}
+
+// Probe blocks until a message matching (src, tag, ctx) is queued, and
+// reports its envelope without receiving it.
+func (e *Engine) Probe(p *sim.Proc, src, tag, ctx int) (Status, error) {
+	for {
+		st, ok, err := e.Iprobe(p, src, tag, ctx)
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			return st, nil
+		}
+		if e.tr.Pending() {
+			// An arrival raced in while Iprobe charged time; re-poll
+			// instead of parking (parking here would miss its wakeup).
+			continue
+		}
+		e.cond.Wait(p)
+	}
+}
+
+// Iprobe makes progress and reports whether a matching message is queued.
+// The matching charge is paid before draining arrivals: time consumed
+// after the drain would open a lost-wakeup window for callers that park
+// when the probe fails.
+func (e *Engine) Iprobe(p *sim.Proc, src, tag, ctx int) (Status, bool, error) {
+	e.acct.Charge(p, CostMatch, e.costs.Match)
+	e.Progress(p)
+	if msg := e.match.Probe(src, tag, ctx); msg != nil {
+		return Status{Source: msg.Env.Source, Tag: msg.Env.Tag, Count: msg.Env.Count}, true, nil
+	}
+	return Status{}, false, nil
+}
+
+// Finalize implements Endpoint: poll until every locally-initiated send
+// has been handed to the wire (a buffered rendezvous send needs this
+// process to answer its CTS).
+func (e *Engine) Finalize(p *sim.Proc) {
+	for {
+		e.Progress(p)
+		busy := false
+		for _, r := range e.pending {
+			if !r.IsRecv && !r.sent {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		e.cond.Wait(p)
+	}
+}
+
+// ProtocolErrors reports asynchronous protocol errors recorded at this
+// rank (e.g. ready-mode violations), for post-run inspection.
+func (e *Engine) ProtocolErrors() []error { return e.Errors }
+
+// QueueStats reports matcher depths (for tests and instrumentation).
+func (e *Engine) QueueStats() (posted, unexpected int) {
+	return e.match.PostedLen(), e.match.UnexpectedLen()
+}
+
+// String identifies the engine in traces.
+func (e *Engine) String() string { return fmt.Sprintf("engine[rank %d]", e.rank) }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MemFabric is a reference Transport implementation: an idealized
+// interconnect with a flat latency and optional per-pair bounce credits.
+// It exists to test the engine's protocol logic in isolation from any
+// platform cost model, and as the executable specification of the
+// Transport contract that the Meiko and cluster transports implement.
+type MemFabric struct {
+	S        *sim.Scheduler
+	Latency  sim.Duration
+	Eager    int // eager/rendezvous crossover in bytes
+	Credits  int // per-(sender,receiver) bounce bytes; 0 means unlimited
+	PollCost sim.Duration
+
+	eps map[int]*MemTransport
+}
+
+// NewMemFabric returns a fabric for the given scheduler. Attach endpoints
+// with Attach before running.
+func NewMemFabric(s *sim.Scheduler, latency sim.Duration, eager int) *MemFabric {
+	return &MemFabric{S: s, Latency: latency, Eager: eager, eps: make(map[int]*MemTransport)}
+}
+
+// Attach creates the rank's transport and wires it to engine e.
+func (f *MemFabric) Attach(e *Engine) *MemTransport {
+	t := &MemTransport{
+		fab:       f,
+		eng:       e,
+		rank:      e.Rank(),
+		avail:     make(map[int]int),
+		sendQ:     make(map[int][]*Request),
+		creditCnd: sim.NewCond(f.S),
+	}
+	f.eps[e.Rank()] = t
+	e.SetTransport(t)
+	return t
+}
+
+// MemTransport is one rank's endpoint on a MemFabric.
+type MemTransport struct {
+	fab   *MemFabric
+	eng   *Engine
+	rank  int
+	inbox []*Packet
+
+	// Sender-side credit state per destination; lazily initialized to the
+	// fabric's credit allotment.
+	avail     map[int]int
+	sendQ     map[int][]*Request // eager sends queued awaiting credits
+	creditCnd *sim.Cond
+
+	// Counters for tests.
+	NSent, NDelivered int
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// MaxEager implements Transport.
+func (t *MemTransport) MaxEager() int { return t.fab.Eager }
+
+func (t *MemTransport) creditsFor(dst int) int {
+	if t.fab.Credits == 0 {
+		return 1 << 30
+	}
+	if _, ok := t.avail[dst]; !ok {
+		t.avail[dst] = t.fab.Credits
+	}
+	return t.avail[dst]
+}
+
+// deliver ships pkt to dst after the fabric latency.
+func (t *MemTransport) deliver(dst int, pkt *Packet) {
+	t.NSent++
+	t.fab.S.After(t.fab.Latency, func() {
+		peer := t.fab.eps[dst]
+		if peer == nil {
+			panic(fmt.Sprintf("memtransport: no endpoint for rank %d", dst))
+		}
+		peer.NDelivered++
+		if pkt.Kind == PktCredit {
+			// Credits are transport-internal: restore and drain the queue.
+			peer.avail[pkt.Env.Dest] = peer.creditsFor(pkt.Env.Dest) + pkt.Env.Count
+			peer.drainSendQ(pkt.Env.Dest)
+			peer.creditCnd.Broadcast()
+			peer.eng.Wake()
+			return
+		}
+		peer.inbox = append(peer.inbox, pkt)
+		peer.eng.Wake()
+	})
+}
+
+// drainSendQ transmits queued sends for dst, in issue order, while flow
+// control allows. Runs in event context; completions go through
+// Engine.SendDone.
+func (t *MemTransport) drainSendQ(dst int) {
+	q := t.sendQ[dst]
+	for len(q) > 0 {
+		req := q[0]
+		if req.Env.Count <= t.fab.Eager {
+			if t.creditsFor(dst) < req.Env.Count {
+				break
+			}
+			t.avail[dst] -= req.Env.Count
+			t.sendEager(req)
+			t.eng.SendDone(req)
+		} else {
+			t.deliver(dst, &Packet{Kind: PktRTS, Env: req.Env})
+		}
+		q = q[1:]
+	}
+	t.sendQ[dst] = q
+}
+
+func (t *MemTransport) sendEager(req *Request) {
+	data := make([]byte, len(req.Buf))
+	copy(data, req.Buf)
+	t.deliver(req.Env.Dest, &Packet{Kind: PktEager, Env: req.Env, Data: data})
+}
+
+// Send implements Transport. Messages queue in issue order behind any
+// flow-controlled predecessor so delivery order is preserved.
+func (t *MemTransport) Send(p *sim.Proc, req *Request) {
+	dst := req.Env.Dest
+	n := req.Env.Count
+	if len(t.sendQ[dst]) > 0 {
+		t.sendQ[dst] = append(t.sendQ[dst], req)
+		return
+	}
+	if n > t.fab.Eager {
+		// Rendezvous: ship the envelope; the payload moves on CTS.
+		t.deliver(dst, &Packet{Kind: PktRTS, Env: req.Env})
+		return
+	}
+	if t.creditsFor(dst) < n {
+		t.sendQ[dst] = append(t.sendQ[dst], req)
+		return
+	}
+	t.avail[dst] -= n
+	t.sendEager(req)
+	t.eng.SendDone(req)
+}
+
+// Accept implements Transport: CTS back to the sender; the payload will
+// arrive as PktData carrying the receiver request id.
+func (t *MemTransport) Accept(p *sim.Proc, msg *InMsg, req *Request) {
+	t.deliver(msg.Env.Source, &Packet{Kind: PktCTS, Env: msg.Env, ReqID: msg.Env.SendID, Handle: req.ID})
+}
+
+// SendPayload implements Transport: the CTS surfaced at the sender; move
+// the payload straight into the posted receive.
+func (t *MemTransport) SendPayload(p *sim.Proc, req *Request, pkt *Packet) {
+	data := make([]byte, len(req.Buf))
+	copy(data, req.Buf)
+	recvID, _ := pkt.Handle.(int64)
+	t.deliver(req.Env.Dest, &Packet{Kind: PktData, Env: req.Env, ReqID: recvID, Data: data})
+	t.eng.SendDone(req)
+}
+
+// Control implements Transport.
+func (t *MemTransport) Control(p *sim.Proc, dst int, kind PacketKind, env Envelope) {
+	t.deliver(dst, &Packet{Kind: kind, Env: env, ReqID: env.SendID})
+}
+
+// Release implements Transport: return n bounce bytes to the sender side.
+func (t *MemTransport) Release(p *sim.Proc, src int, n int) {
+	if t.fab.Credits == 0 {
+		return
+	}
+	// Env.Dest names the rank whose credit account at src is restored.
+	t.deliver(src, &Packet{Kind: PktCredit, Env: Envelope{Dest: t.rank, Count: n}})
+}
+
+// Poll implements Transport.
+func (t *MemTransport) Poll(p *sim.Proc) *Packet {
+	if len(t.inbox) == 0 {
+		return nil
+	}
+	t.eng.Acct().Charge(p, CostProtocol, t.fab.PollCost)
+	pkt := t.inbox[0]
+	t.inbox = t.inbox[1:]
+	return pkt
+}
+
+// Pending implements Transport.
+func (t *MemTransport) Pending() bool { return len(t.inbox) > 0 }

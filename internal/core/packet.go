@@ -1,0 +1,105 @@
+package core
+
+import "repro/internal/sim"
+
+// PacketKind enumerates the protocol messages exchanged by engines. The
+// 1-byte "message type" of the paper's 25-byte cluster header carries
+// exactly this discriminator.
+type PacketKind uint8
+
+const (
+	// PktEager carries an envelope with the payload piggybacked; the
+	// payload is deposited in receiver-side bounce space (the Meiko
+	// per-sender slot, or the cluster's reserved credit memory).
+	PktEager PacketKind = iota
+	// PktRTS is a rendezvous envelope: payload stays at the sender until
+	// the receiver matches and accepts.
+	PktRTS
+	// PktCTS flows back to the sender once an RTS matched; it names the
+	// sender request that may now transmit its payload.
+	PktCTS
+	// PktData is a rendezvous payload arriving into the posted buffer.
+	PktData
+	// PktSyncAck acknowledges the match of a synchronous-mode eager send.
+	PktSyncAck
+	// PktCredit returns freed bounce space to a sender (cluster transport;
+	// usually piggybacked, explicit when traffic is one-sided).
+	PktCredit
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case PktEager:
+		return "eager"
+	case PktRTS:
+		return "rts"
+	case PktCTS:
+		return "cts"
+	case PktData:
+		return "data"
+	case PktSyncAck:
+		return "syncack"
+	case PktCredit:
+		return "credit"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is a protocol message surfaced to an engine by its transport.
+type Packet struct {
+	Kind   PacketKind
+	Env    Envelope
+	Data   []byte // eager payload (bounce storage owned by transport until Release)
+	ReqID  int64  // CTS/SyncAck: sender request; Data: receiver request
+	Handle any    // transport cookie threaded from RTS to Accept
+}
+
+// Transport moves bytes and charges platform time on behalf of an Engine.
+// The three primitives mirror the paper's §5.1 list: sending an envelope,
+// sending an envelope with piggybacked data, and setting remote events /
+// sending DMA data. Implementations exist for the Meiko (DMA, transactions,
+// per-sender envelope slots) and the cluster (TCP/UDP streams, byte credits).
+//
+// All methods taking a *sim.Proc run in that proc's context and may park it
+// (flow control) and charge it time. Delivery upcalls into the Engine
+// (SendDone, RecvDataDone, Wake) may instead come from event context.
+type Transport interface {
+	// MaxEager is the eager/rendezvous crossover in payload bytes
+	// (180 on the Meiko, per Figure 1).
+	MaxEager() int
+
+	// Send transmits req's message: eager when req.Env.Count <= MaxEager,
+	// rendezvous RTS otherwise. Send never blocks (MPI_Isend semantics):
+	// when flow control (an envelope slot or byte credits) is exhausted,
+	// the transport queues the message internally and transmits when space
+	// frees — in issue order, so MPI's non-overtaking rule survives a mix
+	// of queued eager messages and rendezvous envelopes. The transport
+	// marks the local send complete via Engine.SendDone (or synchronously
+	// before returning).
+	Send(p *sim.Proc, req *Request)
+
+	// Accept informs the transport that the receiver matched RTS msg with
+	// posted receive req: it issues the CTS and arranges for the payload to
+	// land in req.Buf, then calls Engine.RecvDataDone.
+	Accept(p *sim.Proc, msg *InMsg, req *Request)
+
+	// SendPayload handles a CTS that surfaced through Poll (stream
+	// transports, where the sending process itself must push the data):
+	// transmit req's payload toward the destination named in pkt.
+	SendPayload(p *sim.Proc, req *Request, pkt *Packet)
+
+	// Control sends a small control message (PktSyncAck, PktCredit).
+	Control(p *sim.Proc, dst int, kind PacketKind, env Envelope)
+
+	// Release returns n bytes of eager bounce space for messages from src
+	// (frees the Meiko slot / returns cluster credits).
+	Release(p *sim.Proc, src int, n int)
+
+	// Poll surfaces the next arrived packet, charging p the platform's
+	// per-packet receive costs (kernel reads, slot scans); nil when idle.
+	Poll(p *sim.Proc) *Packet
+
+	// Pending cheaply reports whether Poll would surface a packet.
+	Pending() bool
+}

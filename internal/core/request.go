@@ -1,0 +1,58 @@
+package core
+
+// Request is the state of an in-flight nonblocking operation. Requests are
+// created by the engine and completed either in the receiving/sending proc's
+// context (poll model) or from a device event (DMA completion).
+type Request struct {
+	ID     int64
+	IsRecv bool
+	Env    Envelope // for sends: the outgoing envelope; for recvs: the match pattern in Source/Tag/Context
+	Buf    []byte   // send payload or receive buffer
+
+	// Send-side protocol state.
+	sent      bool // transport finished moving the data (or accepted it for background delivery)
+	acked     bool // match acknowledged (sync mode) or rendezvous completed
+	ackWanted bool
+	buffered  bool // Bsend: attached-buffer space is freed on SendDone
+
+	// Recv-side state.
+	matched bool
+
+	done   bool
+	status Status
+	err    error
+
+	// cancelled via MPI_Cancel semantics (receives only).
+	cancelled bool
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Status reports the completion status; valid only once Done.
+func (r *Request) Status() Status { return r.status }
+
+// Err reports the terminal error, if any.
+func (r *Request) Err() error { return r.err }
+
+// Cancelled reports whether the request was cancelled before matching.
+func (r *Request) Cancelled() bool { return r.cancelled }
+
+// complete marks the request done with the given status.
+func (r *Request) complete(st Status, err error) {
+	r.done = true
+	r.status = st
+	r.err = err
+}
+
+// sendMaybeComplete completes a send request once the transport has moved
+// the data and any required acknowledgement has arrived.
+func (r *Request) sendMaybeComplete() {
+	if r.done || !r.sent {
+		return
+	}
+	if r.ackWanted && !r.acked {
+		return
+	}
+	r.complete(Status{Source: r.Env.Dest, Tag: r.Env.Tag, Count: r.Env.Count}, r.err)
+}

@@ -1,0 +1,110 @@
+package meiko
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The CS/2's data network is a 4-ary fat tree of Elite switches. The
+// default Machine model charges a flat WireLatency per packet — adequate
+// for the paper's two-node microbenchmarks — but application traffic at
+// scale contends inside the tree. FatTree is an optional topology model.
+//
+// A fat tree has full bisection bandwidth, so the ascending half of a
+// route never contends (there is an up-link per node at every stage), and
+// each stage-s subtree is entered by radix^s parallel down-links.
+// Descending is where congestion lives: flows converging into the same
+// subtree lane serialize, with the leaf group's single link the classic
+// incast bottleneck. The model charges hop latency per stage climbed, then
+// reserves the down-link lane (selected by source, standing in for the
+// deterministic source routing of the Elite switches) at each descent
+// stage.
+type FatTree struct {
+	m      *Machine
+	radix  int
+	stages int
+	down   [][][]*sim.FIFO // down[stage][subtree][lane]
+	// HopLatency is the per-switch traversal latency.
+	HopLatency sim.Duration
+}
+
+// NewFatTree attaches a radix-4 fat tree sized to cover all nodes.
+func (m *Machine) NewFatTree() *FatTree {
+	const radix = 4
+	stages := 1
+	cover := radix
+	for cover < len(m.Nodes) {
+		cover *= radix
+		stages++
+	}
+	t := &FatTree{m: m, radix: radix, stages: stages, HopLatency: m.Costs.WireLatency / 2}
+	if t.HopLatency <= 0 {
+		t.HopLatency = 1
+	}
+	t.down = make([][][]*sim.FIFO, stages)
+	for s := 0; s < stages; s++ {
+		nsub := (len(m.Nodes) + pow(radix, s+1) - 1) / pow(radix, s+1)
+		lanes := pow(radix, s)
+		t.down[s] = make([][]*sim.FIFO, nsub)
+		for g := 0; g < nsub; g++ {
+			t.down[s][g] = make([]*sim.FIFO, lanes)
+			for l := 0; l < lanes; l++ {
+				t.down[s][g][l] = sim.NewFIFO(m.S, fmt.Sprintf("ft-down-s%d-g%d-l%d", s, g, l))
+			}
+		}
+	}
+	return t
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// climb reports the stage count to the nearest common ancestor switch.
+func (t *FatTree) climb(src, dst int) int {
+	for s := 0; s < t.stages; s++ {
+		span := pow(t.radix, s+1)
+		if src/span == dst/span {
+			return s + 1
+		}
+	}
+	return t.stages
+}
+
+// Deliver carries nbytes from src to dst through the tree at the given
+// serialization rate, then runs fn. The Elite switches are
+// wormhole-routed, so the whole descending path is reserved jointly for
+// one serialization span: the transfer starts when every lane on the
+// route is free and occupies them all together — the ascent contributes
+// hop latency only (full bisection). Event-context safe.
+func (t *FatTree) Deliver(src, dst, nbytes int, perByte sim.Duration, fn func()) {
+	hops := t.climb(src, dst)
+	d := sim.Duration(nbytes) * perByte
+	// Collect the route's down-link lanes.
+	route := make([]*sim.FIFO, 0, hops)
+	for stage := hops - 1; stage >= 0; stage-- {
+		lanes := t.down[stage][dst/pow(t.radix, stage+1)]
+		// Deterministic dispersive lane selection (Fibonacci hash of the
+		// source), standing in for the Elite switches' source routing.
+		route = append(route, lanes[int(uint32(src)*2654435761>>16)%len(lanes)])
+	}
+	start := t.m.S.Now()
+	for _, l := range route {
+		if l.BusyUntil() > start {
+			start = l.BusyUntil()
+		}
+	}
+	end := start + sim.Time(d)
+	for _, l := range route {
+		l.ExtendBusy(end)
+	}
+	t.m.S.At(end+sim.Time(sim.Duration(2*hops)*t.HopLatency), fn)
+}
+
+// Stages reports the tree depth.
+func (t *FatTree) Stages() int { return t.stages }

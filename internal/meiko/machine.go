@@ -1,0 +1,174 @@
+package meiko
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Machine is a CS/2: a set of nodes on a fat-tree network with hardware
+// broadcast. The network model charges a per-packet wire latency plus
+// per-byte serialization on the sender's injection port; each node's Elan
+// is a serial resource, so co-processor occupancy queues realistically.
+type Machine struct {
+	S     *sim.Scheduler
+	Costs Costs
+	Nodes []*Node
+	// Tree, when set (see NewFatTree), routes unicast traffic through the
+	// staged fat-tree model instead of the flat-latency wire.
+	Tree *FatTree
+}
+
+// NewMachine builds an n-node CS/2 on scheduler s.
+func NewMachine(s *sim.Scheduler, n int, c Costs) *Machine {
+	m := &Machine{S: s, Costs: c}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:   i,
+			M:    m,
+			Elan: sim.NewFIFO(s, fmt.Sprintf("elan%d", i)),
+			Out:  sim.NewFIFO(s, fmt.Sprintf("link%d", i)),
+		})
+	}
+	return m
+}
+
+// Node is one CS/2 node: the SPARC is modeled by whatever proc runs the
+// application; the Elan and the injection port are serial resources.
+type Node struct {
+	ID   int
+	M    *Machine
+	Elan *sim.FIFO // Elan co-processor occupancy
+	Out  *sim.FIFO // network injection port
+	Port *Tport    // attached tport widget, if any
+}
+
+// Txn models a user-level remote transaction carrying nbytes of payload to
+// node dst: serialization on the source port, wire latency, then deliver
+// runs after the destination Elan processes the transaction. The caller is
+// responsible for charging the SPARC-side issue cost (Costs.TxnIssue) when
+// issued from a process; Elan-issued transactions instead occupy the source
+// Elan first (elanIssued).
+//
+// Txn is safe to call from event context; delivery order between a given
+// (src, dst) pair is FIFO because packets serialize on the source port and
+// experience identical latency.
+func (n *Node) Txn(dst int, nbytes int, elanIssued bool, deliver func()) {
+	c := n.M.Costs
+	send := func() {
+		wire := sim.Duration(nbytes) * c.TxnPerByte
+		n.Out.UseAsync(wire, func() {
+			n.M.transit(n.ID, dst, nbytes, c.TxnPerByte, func() {
+				n.M.Nodes[dst].Elan.UseAsync(c.ElanTxnHandle, deliver)
+			})
+		})
+	}
+	if elanIssued {
+		n.Elan.UseAsync(c.ElanTxnHandle, send)
+	} else {
+		send()
+	}
+}
+
+// DMA models an Elan-driven bulk transfer of nbytes to node dst. The Elan
+// sets up the transfer, the payload serializes on the injection port at DMA
+// bandwidth, and after the wire latency the destination Elan lands it.
+// onLocal fires when the last byte leaves the source (the sender's buffer
+// is then reusable); onRemote fires when the destination Elan completes.
+// Either callback may be nil. Safe to call from event context.
+func (n *Node) DMA(dst int, nbytes int, onLocal, onRemote func()) {
+	c := n.M.Costs
+	n.Elan.UseAsync(c.ElanDMASetup, func() {
+		wire := sim.Duration(nbytes) * c.DMAPerByte
+		n.Out.UseAsync(wire, func() {
+			if onLocal != nil {
+				onLocal()
+			}
+			n.M.transit(n.ID, dst, nbytes, c.DMAPerByte, func() {
+				n.M.Nodes[dst].Elan.UseAsync(c.ElanDMARecv, func() {
+					if onRemote != nil {
+						onRemote()
+					}
+				})
+			})
+		})
+	})
+}
+
+// Broadcast models the CS/2 hardware broadcast: one injection of nbytes
+// fans out to every other node, with a small per-destination skew in the
+// switches. deliver runs once per destination node (in id order, skewed);
+// onLocal fires when the source has injected the payload.
+func (n *Node) Broadcast(nbytes int, onLocal func(), deliver func(dst *Node)) {
+	c := n.M.Costs
+	n.Elan.UseAsync(c.ElanDMASetup, func() {
+		wire := sim.Duration(nbytes) * c.DMAPerByte
+		n.Out.UseAsync(wire, func() {
+			if onLocal != nil {
+				onLocal()
+			}
+			skew := sim.Duration(0)
+			for _, d := range n.M.Nodes {
+				if d.ID == n.ID {
+					continue
+				}
+				dst := d
+				n.M.S.After(c.WireLatency+skew, func() {
+					dst.Elan.UseAsync(c.ElanDMARecv, func() { deliver(dst) })
+				})
+				skew += c.BcastPerNode
+			}
+		})
+	})
+}
+
+// transit carries nbytes from src to dst: through the fat tree when one
+// is attached, otherwise at the flat wire latency (the serialization on
+// the source injection port has already been paid by the caller).
+func (m *Machine) transit(src, dst, nbytes int, perByte sim.Duration, fn func()) {
+	if m.Tree != nil {
+		m.Tree.Deliver(src, dst, nbytes, perByte, fn)
+		return
+	}
+	m.S.After(m.Costs.WireLatency, fn)
+}
+
+// Event is an Elan event word: device completions set it, the SPARC waits
+// on it. Waiting charges the SPARC/Elan synchronization cost on wakeup,
+// modeling the handshake the paper identifies as extra latency when the
+// Elan performs background matching.
+type Event struct {
+	s    *sim.Scheduler
+	c    Costs
+	set  bool
+	cond *sim.Cond
+}
+
+// NewEvent returns an unset event on machine m.
+func (m *Machine) NewEvent() *Event {
+	return &Event{s: m.S, c: m.Costs, cond: sim.NewCond(m.S)}
+}
+
+// Set marks the event and wakes waiters. Safe from event context.
+func (e *Event) Set() {
+	e.set = true
+	e.cond.Broadcast()
+}
+
+// IsSet reports the event state without waiting.
+func (e *Event) IsSet() bool { return e.set }
+
+// Clear resets the event.
+func (e *Event) Clear() { e.set = false }
+
+// Wait parks p until the event is set, charging the SPARC<->Elan sync cost
+// if the proc actually had to block and be woken by the Elan.
+func (e *Event) Wait(p *sim.Proc) {
+	if e.set {
+		return
+	}
+	for !e.set {
+		e.cond.Wait(p)
+	}
+	p.Advance(e.c.ElanSync)
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Host-side performance of the simulation kernel itself.
+
+func BenchmarkEventDispatch(b *testing.B) {
+	s := NewScheduler(1)
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < b.N {
+			s.After(1, loop)
+		}
+	}
+	s.At(0, loop)
+	b.ResetTimer()
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcSwitch(b *testing.B) {
+	s := NewScheduler(1)
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCondHandoff(b *testing.B) {
+	s := NewScheduler(1)
+	c1 := NewCond(s)
+	c2 := NewCond(s)
+	// a spawns first, so it is parked on c1 before b's first signal.
+	s.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c1.Wait(p)
+			c2.Signal()
+		}
+	})
+	s.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c1.Signal()
+			c2.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A simulation consists of a Scheduler owning a virtual clock and an event
+// queue, plus any number of Procs (logical processes). Procs run as
+// goroutines, but the kernel enforces that at any instant exactly one of
+// {the scheduler, one proc} executes; control is handed off over channels,
+// which also provides the happens-before edges that make shared model state
+// race-free without locks.
+//
+// Time is virtual: a Proc consumes time only by calling Advance (modeling
+// computation or device occupancy) or by blocking on a Cond/FIFO until some
+// event wakes it. Event ordering is (time, sequence), so runs are fully
+// deterministic for a given program and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts directly
+// to and from time.Duration.
+type Duration = time.Duration
+
+// Microseconds reports t as a floating-point count of microseconds,
+// the unit used throughout the paper.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Duration reports the span from the zero time to t.
+func (t Time) Duration() Duration { return Duration(t) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the event queue.
+//
+// A Scheduler must be driven by Run (or Step) from the goroutine that
+// created it. Event callbacks and Proc bodies may freely schedule further
+// events, spawn procs, and signal conditions.
+type Scheduler struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // proc -> scheduler: parked or finished
+	procs   map[*Proc]struct{}
+	current *Proc // proc holding the execution token, nil if scheduler
+	rng     *rand.Rand
+	stopped bool
+	// Limits guard against runaway models; zero means no limit.
+	MaxEvents uint64
+	MaxTime   Time
+	nEvents   uint64
+}
+
+// NewScheduler returns a Scheduler with the deterministic RNG seeded by seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand exposes the run's deterministic random source. It must only be used
+// while holding the execution token (i.e. from proc bodies or event
+// callbacks), which all model code does by construction.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at time t (clamped to now). fn runs with the
+// execution token held, in scheduler context.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now+Time(d), fn) }
+
+// Proc is a logical process: a goroutine whose execution interleaves with
+// events under the scheduler's single execution token.
+type Proc struct {
+	s      *Scheduler
+	name   string
+	resume chan struct{}
+	state  procState
+	done   bool
+}
+
+type procState int
+
+const (
+	procReady procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Name reports the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Scheduler reports the scheduler that owns p.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Spawn creates a proc named name running fn, starting at the current
+// virtual time (after already-queued events at this time).
+func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	s.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.state = procDone
+		p.done = true
+		delete(s.procs, p)
+		s.yield <- struct{}{}
+	}()
+	s.At(s.now, func() { s.dispatch(p) })
+	return p
+}
+
+// dispatch hands the execution token to p and blocks until p parks or
+// finishes. Must be called from scheduler context.
+func (s *Scheduler) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := s.current
+	s.current = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = prev
+}
+
+// park gives the execution token back to the scheduler and blocks until the
+// proc is dispatched again. Must be called from p's goroutine. If the
+// scheduler has been shut down in the meantime, the goroutine exits here
+// instead of resuming user code.
+func (p *Proc) park() {
+	p.state = procParked
+	p.s.yield <- struct{}{}
+	<-p.resume
+	if p.s.stopped {
+		p.state = procDone
+		p.done = true
+		delete(p.s.procs, p)
+		p.s.yield <- struct{}{}
+		runtime.Goexit()
+	}
+	p.state = procRunning
+}
+
+// Advance consumes d of virtual time: the proc parks and is woken once the
+// clock reaches now+d. Negative durations are treated as zero.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.s
+	s.At(s.now+Time(d), func() { s.dispatch(p) })
+	p.park()
+}
+
+// Yield parks the proc and reschedules it at the current time, letting
+// other events and procs scheduled for this instant run first.
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Cond is a virtual-time condition variable. Procs Wait on it; Signal and
+// Broadcast wake waiters via zero-delay events, so wakeups are ordered and
+// deterministic. There is no spurious wakeup, but as with sync.Cond the
+// guarded predicate should be re-checked by the waiter.
+type Cond struct {
+	s       *Scheduler
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Scheduler) *Cond { return &Cond{s: s} }
+
+// Wait parks p until a Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.s.At(c.s.now, func() { c.s.dispatch(p) })
+}
+
+// Broadcast wakes all waiting procs in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		q := p
+		c.s.At(c.s.now, func() { c.s.dispatch(q) })
+	}
+}
+
+// Waiting reports how many procs are blocked on c.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// FIFO models a serially-reusable resource: a link, bus, DMA engine, or
+// shared medium. Use occupies the resource for a span of virtual time;
+// contending users are served in FIFO order.
+type FIFO struct {
+	s         *Scheduler
+	name      string
+	busyUntil Time
+}
+
+// NewFIFO returns a FIFO resource bound to s.
+func NewFIFO(s *Scheduler, name string) *FIFO { return &FIFO{s: s, name: name} }
+
+// Use blocks p until the resource is free, then occupies it for d and
+// returns at the completion time.
+func (f *FIFO) Use(p *Proc, d Duration) {
+	start := f.reserve(d)
+	wait := Duration(start - p.s.now + Time(d))
+	p.Advance(wait)
+}
+
+// UseAsync occupies the resource for d starting as soon as it is free, and
+// schedules fn at the completion time. It does not block the caller; it is
+// the device-side counterpart of Use and may be called from event context.
+// It returns the completion time.
+func (f *FIFO) UseAsync(d Duration, fn func()) Time {
+	start := f.reserve(d)
+	end := start + Time(d)
+	if fn != nil {
+		f.s.At(end, fn)
+	}
+	return end
+}
+
+// reserve allocates the next available slot of length d and returns its
+// start time.
+func (f *FIFO) reserve(d Duration) Time {
+	start := f.s.now
+	if f.busyUntil > start {
+		start = f.busyUntil
+	}
+	f.busyUntil = start + Time(d)
+	return start
+}
+
+// BusyUntil reports the time at which currently reserved work completes.
+func (f *FIFO) BusyUntil() Time { return f.busyUntil }
+
+// ExtendBusy marks the resource occupied until t (if later than its
+// current horizon). Used for joint multi-resource reservations (wormhole
+// circuits), where a path of resources is held for one span together.
+func (f *FIFO) ExtendBusy(t Time) {
+	if t > f.busyUntil {
+		f.busyUntil = t
+	}
+}
+
+// DeadlockError reports that the event queue drained while procs were
+// still parked.
+type DeadlockError struct {
+	At     Time
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: parked procs %v", e.At, e.Parked)
+}
+
+// LimitError reports that an execution limit was exceeded.
+type LimitError struct {
+	At     Time
+	Events uint64
+	What   string
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("sim: %s limit exceeded at %v after %d events", e.What, e.At, e.Events)
+}
+
+// Step runs the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.t
+	s.nEvents++
+	e.fn()
+	return true
+}
+
+// Run drives the simulation until the event queue drains. It returns the
+// final virtual time. If procs remain parked when the queue drains, Run
+// returns a *DeadlockError; if a configured limit is exceeded it returns a
+// *LimitError.
+func (s *Scheduler) Run() (Time, error) {
+	for s.Step() {
+		if s.MaxEvents != 0 && s.nEvents > s.MaxEvents {
+			return s.now, &LimitError{At: s.now, Events: s.nEvents, What: "event"}
+		}
+		if s.MaxTime != 0 && s.now > s.MaxTime {
+			return s.now, &LimitError{At: s.now, Events: s.nEvents, What: "time"}
+		}
+	}
+	if len(s.procs) != 0 {
+		var names []string
+		for p := range s.procs {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return s.now, &DeadlockError{At: s.now, Parked: names}
+	}
+	return s.now, nil
+}
+
+// Events reports how many events have executed.
+func (s *Scheduler) Events() uint64 { return s.nEvents }
+
+// Shutdown terminates every parked proc goroutine (they exit inside park
+// without running further user code). Call after Run returns an error
+// (deadlock, limit) to avoid leaking goroutines; a clean Run has nothing
+// left to stop.
+func (s *Scheduler) Shutdown() {
+	s.stopped = true
+	for len(s.procs) > 0 {
+		var p *Proc
+		for q := range s.procs {
+			p = q
+			break
+		}
+		// Wake the proc; park observes stopped and exits the goroutine.
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+}

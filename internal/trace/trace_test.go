@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLogOrderAndTimeline(t *testing.T) {
+	var l Log
+	l.Add(Event{T: 30, Rank: 1, Kind: Arrive, Peer: 0, Tag: 5, Bytes: 10})
+	l.Add(Event{T: 10, Rank: 0, Kind: SendStart, Peer: 1, Tag: 5, Bytes: 10, Note: "standard"})
+	l.Add(Event{T: 40, Rank: 1, Kind: Match, Peer: 0, Tag: 5, Bytes: 10})
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].Kind != SendStart || evs[2].Kind != Match {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+	out := l.Timeline()
+	for _, want := range []string{"send-start", "arrive", "match", "rank0", "rank1", "standard"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogCap(t *testing.T) {
+	l := Log{Cap: 2}
+	for i := 0; i < 5; i++ {
+		l.Add(Event{T: 1})
+	}
+	if l.Len() != 2 || l.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped)
+	}
+	if !strings.Contains(l.Timeline(), "3 events dropped") {
+		t.Fatal("timeline does not mention drops")
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	var l Log
+	// Two messages 0 -> 1, each arriving then matching 5us later.
+	for i := 0; i < 2; i++ {
+		base := int64(i * 100)
+		l.Add(Event{T: sim.Time(base), Rank: 0, Kind: SendStart, Peer: 1, Tag: 7, Bytes: 50})
+		l.Add(Event{T: sim.Time(base + 20), Rank: 1, Kind: Arrive, Peer: 0, Tag: 7, Bytes: 50})
+		l.Add(Event{T: sim.Time(base + 25), Rank: 1, Kind: Match, Peer: 0, Tag: 7, Bytes: 50})
+	}
+	st := l.Stats()
+	s := st[0][1]
+	if s == nil {
+		t.Fatal("no stats for 0->1")
+	}
+	if s.Messages != 2 || s.Bytes != 100 {
+		t.Fatalf("messages=%d bytes=%d", s.Messages, s.Bytes)
+	}
+	if s.Matched != 2 || s.MatchLatency != 10 {
+		t.Fatalf("matched=%d latency=%v", s.Matched, s.MatchLatency)
+	}
+}

@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Extended collectives beyond the paper's Bcast: the vector variants and
+// the derived reductions of MPI-1.
+
+// Allgatherv gathers variable-sized contributions everywhere; counts[i] is
+// rank i's byte count and recvBuf holds their sum, ordered by rank.
+func (c *Comm) Allgatherv(send []byte, recvBuf []byte, counts []int) error {
+	if err := c.Gatherv(0, send, recvBuf, counts); err != nil {
+		return err
+	}
+	return c.Bcast(0, recvBuf)
+}
+
+// Alltoallv exchanges variable-sized slices: rank r sends
+// send[sdispls[i]:sdispls[i]+scounts[i]] to rank i and receives rank i's
+// slice for r at recv[rdispls[i]:rdispls[i]+rcounts[i]].
+func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
+	p := c.Size()
+	copy(recv[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]],
+		send[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
+	for round := 1; round < p; round++ {
+		to := (c.rank + round) % p
+		from := (c.rank - round + p) % p
+		rr, err := c.irecvCtx(from, tagAlltoall, recv[rdispls[from]:rdispls[from]+rcounts[from]])
+		if err != nil {
+			return err
+		}
+		if err := c.csend(to, tagAlltoall, send[sdispls[to]:sdispls[to]+scounts[to]]); err != nil {
+			return err
+		}
+		if _, err := c.ep.Wait(c.p, rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceScatter reduces send elementwise across ranks and scatters the
+// result: rank r receives the slice of counts[r] bytes at offset
+// sum(counts[:r]) (MPI_Reduce_scatter, implemented as reduce + scatterv).
+func (c *Comm) ReduceScatter(op Op, send []byte, recv []byte, counts []int) error {
+	var full []byte
+	if c.rank == 0 {
+		full = make([]byte, len(send))
+	}
+	if err := c.Reduce(0, op, send, full); err != nil {
+		return err
+	}
+	return c.Scatterv(0, full, counts, recv)
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives the
+// combination of ranks 0..r-1; rank 0's recv is left untouched
+// (MPI_Exscan).
+func (c *Comm) Exscan(op Op, send []byte, recv []byte) error {
+	// Linear chain carrying the inclusive prefix; each rank hands its
+	// predecessor-prefix downstream before folding its own contribution.
+	incl := make([]byte, len(send))
+	if c.rank > 0 {
+		if _, err := c.crecv(c.rank-1, tagScan, incl); err != nil {
+			return err
+		}
+		copy(recv, incl)
+	}
+	if c.rank < c.Size()-1 {
+		out := make([]byte, len(send))
+		if c.rank == 0 {
+			copy(out, send)
+		} else {
+			copy(out, incl)
+			op(out, send)
+		}
+		return c.csend(c.rank+1, tagScan, out)
+	}
+	return nil
+}
+
+// Wtick reports the virtual clock resolution, like MPI_Wtick.
+func Wtick() time.Duration { return time.Nanosecond }
+
+// GetCount reports how many whole elements of dt a status describes, and
+// whether the byte count is an exact multiple (MPI_Get_count semantics:
+// not-a-multiple maps to MPI_UNDEFINED).
+func GetCount(st Status, dt Datatype) (int, bool) {
+	sz := dt.Size()
+	if sz == 0 {
+		return 0, true
+	}
+	if st.Count%sz != 0 {
+		return 0, false
+	}
+	return st.Count / sz, true
+}
+
+// Abort terminates the job abnormally from one rank by surfacing an error
+// the runner reports (MPI_Abort's moral equivalent under simulation: there
+// is no process to kill, so the error carries the code).
+func (c *Comm) Abort(code int) error {
+	return core.Errorf(core.ErrInternal, "MPI_Abort called on rank %d with code %d", c.rank, code)
+}

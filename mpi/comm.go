@@ -1,0 +1,138 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Communicator management: Dup and Split create new communicators whose
+// context ids isolate their traffic from the parent's, as required by the
+// MPI standard's library-composition guarantees. Agreement on the new
+// context id is reached the way real implementations do it: rank 0 of the
+// parent allocates and broadcasts.
+
+// Dup creates a communicator with the same group but fresh contexts
+// (MPI_Comm_dup). Collective over the parent.
+func (c *Comm) Dup() (*Comm, error) {
+	ctxBuf := make([]byte, 8)
+	if c.rank == 0 {
+		binary.LittleEndian.PutUint64(ctxBuf, uint64(c.w.allocCtxPair()))
+	}
+	if err := c.bcastBinomial(0, ctxBuf); err != nil {
+		return nil, err
+	}
+	group := make([]int, len(c.group))
+	copy(group, c.group)
+	return &Comm{
+		w:     c.w,
+		p:     c.p,
+		ep:    c.ep,
+		ctx:   int(binary.LittleEndian.Uint64(ctxBuf)),
+		group: group,
+		rank:  c.rank,
+	}, nil
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, parent rank) (MPI_Comm_split). Ranks passing
+// color < 0 (like MPI_UNDEFINED) receive nil. Collective over the parent.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	p := c.Size()
+	// Gather (color, key) pairs everywhere via the collective context.
+	mine := make([]byte, 16)
+	binary.LittleEndian.PutUint64(mine[0:], uint64(int64(color)))
+	binary.LittleEndian.PutUint64(mine[8:], uint64(int64(key)))
+	all := make([]byte, 16*p)
+	if err := c.Gather(0, mine, all); err != nil {
+		return nil, err
+	}
+	// Rank 0 appends the context ids: one pair per distinct color, in
+	// ascending color order.
+	meta := make([]byte, 16*p+8*p)
+	if c.rank == 0 {
+		copy(meta, all)
+		colors := map[int64]int{}
+		var order []int64
+		for r := 0; r < p; r++ {
+			col := int64(binary.LittleEndian.Uint64(all[16*r:]))
+			if col < 0 {
+				continue
+			}
+			if _, ok := colors[col]; !ok {
+				colors[col] = 0
+				order = append(order, col)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		ctxByColor := map[int64]int{}
+		for _, col := range order {
+			ctxByColor[col] = c.w.allocCtxPair()
+		}
+		for r := 0; r < p; r++ {
+			col := int64(binary.LittleEndian.Uint64(all[16*r:]))
+			ctx := -1
+			if col >= 0 {
+				ctx = ctxByColor[col]
+			}
+			binary.LittleEndian.PutUint64(meta[16*p+8*r:], uint64(int64(ctx)))
+		}
+	}
+	if err := c.bcastBinomial(0, meta); err != nil {
+		return nil, err
+	}
+
+	if color < 0 {
+		return nil, nil
+	}
+	// Build my group: parent ranks with my color, sorted by (key, rank).
+	type member struct{ key, parentRank int }
+	var members []member
+	myCtx := -1
+	for r := 0; r < p; r++ {
+		col := int64(binary.LittleEndian.Uint64(meta[16*r:]))
+		k := int64(binary.LittleEndian.Uint64(meta[16*r+8:]))
+		if col == int64(color) {
+			members = append(members, member{int(k), r})
+			if r == c.rank {
+				myCtx = int(int64(binary.LittleEndian.Uint64(meta[16*p+8*r:])))
+			}
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+	group := make([]int, len(members))
+	myNewRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.parentRank]
+		if m.parentRank == c.rank {
+			myNewRank = i
+		}
+	}
+	if myCtx < 0 || myNewRank < 0 {
+		return nil, core.Errorf(core.ErrInternal, "split bookkeeping failed (ctx=%d rank=%d)", myCtx, myNewRank)
+	}
+	return &Comm{w: c.w, p: c.p, ep: c.ep, ctx: myCtx, group: group, rank: myNewRank}, nil
+}
+
+// Group returns a copy of the communicator's world-rank group.
+func (c *Comm) Group() []int {
+	g := make([]int, len(c.group))
+	copy(g, c.group)
+	return g
+}
+
+// Translate maps a rank of this communicator to the corresponding rank in
+// other, or -1 when the process is not a member
+// (MPI_Group_translate_ranks).
+func (c *Comm) Translate(rank int, other *Comm) int {
+	if rank < 0 || rank >= len(c.group) {
+		return -1
+	}
+	return other.commRank(c.group[rank])
+}

@@ -1,0 +1,183 @@
+// Package mpi is the public API of the reproduction: an MPI-1 style
+// message-passing library with point-to-point communication in all four
+// send modes (standard, buffered, synchronous, ready; blocking and
+// nonblocking), probes, persistent requests, derived datatypes,
+// communicator management, and collective operations, running over either
+// modeled platform (Meiko CS/2 or the ATM/Ethernet cluster — see the
+// platform packages).
+//
+// Programs are written as a rank body func(*Comm) error; the platform
+// runners spawn one simulated process per rank and hand each its
+// world communicator. Time inside a rank body is virtual: Wtime reads the
+// simulation clock and Compute models application computation.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Wildcards, re-exported from the engine.
+const (
+	AnySource = core.AnySource
+	AnyTag    = core.AnyTag
+)
+
+// Status describes a completed receive.
+type Status = core.Status
+
+// BcastAlg selects the broadcast algorithm.
+type BcastAlg int
+
+const (
+	// BcastAuto uses the platform's hardware broadcast when the
+	// communicator spans the whole world and the device has one, falling
+	// back to a binomial tree.
+	BcastAuto BcastAlg = iota
+	// BcastLinear sends root -> each rank in turn (the paper's cluster
+	// implementation of MPI_Bcast).
+	BcastLinear
+	// BcastBinomial uses a binomial tree of point-to-point messages
+	// (MPICH's algorithm).
+	BcastBinomial
+	// BcastHardware requires the hardware broadcast; it is an error if the
+	// device has none or the communicator is not the world.
+	BcastHardware
+	// BcastPipelined streams the payload through a rank chain in segments,
+	// overlapping the stages — the classic large-message broadcast that
+	// point-to-point trees leave on the table.
+	BcastPipelined
+)
+
+// World owns the per-rank endpoints of one job and the shared communicator
+// state (context-id allocation). It is created by the platform runners.
+type World struct {
+	S        *sim.Scheduler
+	Bcast    BcastAlg
+	eps      []core.Endpoint
+	nextCtx  int
+	rankDone []sim.Time
+}
+
+// NewWorld wraps endpoints (one per rank, indexed by rank) into a world.
+func NewWorld(s *sim.Scheduler, eps []core.Endpoint) *World {
+	return &World{S: s, eps: eps, nextCtx: 2, rankDone: make([]sim.Time, len(eps))}
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.eps) }
+
+// Traceable endpoints can emit message timelines (the profiling
+// interface); both engine flavors implement it.
+type Traceable interface {
+	SetTrace(*trace.Log)
+}
+
+// EnableTrace attaches a fresh trace log to every traceable endpoint and
+// returns it.
+func (w *World) EnableTrace() *trace.Log {
+	l := &trace.Log{}
+	for _, ep := range w.eps {
+		if t, ok := ep.(Traceable); ok {
+			t.SetTrace(l)
+		}
+	}
+	return l
+}
+
+// allocCtxPair hands out a fresh (point-to-point, collective) context-id
+// pair. Callers must invoke it from exactly one rank per communicator
+// creation and distribute the result (Dup/Split do this at their root),
+// mirroring how real implementations agree on context ids.
+func (w *World) allocCtxPair() int {
+	c := w.nextCtx
+	w.nextCtx += 2
+	return c
+}
+
+// Comm binds one rank's endpoint to a communicator (a context-id pair and
+// a group mapping communicator ranks to world ranks).
+type Comm struct {
+	w     *World
+	p     *sim.Proc
+	ep    core.Endpoint
+	ctx   int   // point-to-point context; ctx+1 is the collective context
+	group []int // comm rank -> world rank
+	rank  int   // this process's rank in the communicator
+}
+
+// NewRankComm builds rank r's world communicator; used by platform runners.
+func NewRankComm(w *World, r int, p *sim.Proc) *Comm {
+	group := make([]int, len(w.eps))
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{w: w, p: p, ep: w.eps[r], ctx: 0, group: group, rank: r}
+}
+
+// Rank reports the calling process's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank reports the calling process's rank in the world.
+func (c *Comm) WorldRank() int { return c.ep.Rank() }
+
+// Proc exposes the rank's simulated process (for platform integration).
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// Endpoint exposes the underlying device endpoint.
+func (c *Comm) Endpoint() core.Endpoint { return c.ep }
+
+// Wtime reports elapsed virtual time, like MPI_Wtime.
+func (c *Comm) Wtime() time.Duration { return c.p.Now().Duration() }
+
+// Compute models local computation taking d of virtual time.
+func (c *Comm) Compute(d time.Duration) {
+	c.ep.Acct().Charge(c.p, core.CostCompute, d)
+}
+
+// Acct exposes this rank's cost account.
+func (c *Comm) Acct() *core.Acct { return c.ep.Acct() }
+
+// world rank of communicator rank r, with wildcard passthrough.
+func (c *Comm) worldRank(r int) (int, error) {
+	if r == AnySource {
+		return AnySource, nil
+	}
+	if r < 0 || r >= len(c.group) {
+		return 0, core.Errorf(core.ErrInternal, "rank %d out of range for communicator of size %d", r, len(c.group))
+	}
+	return c.group[r], nil
+}
+
+// commRank translates a world rank in a Status back to a communicator rank.
+func (c *Comm) commRank(world int) int {
+	for i, wr := range c.group {
+		if wr == world {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Comm) fixStatus(st Status) Status {
+	st.Source = c.commRank(st.Source)
+	return st
+}
+
+// BufferAttach provides buffered-send space (MPI_Buffer_attach).
+func (c *Comm) BufferAttach(n int) { c.ep.BufferAttach(n) }
+
+// BufferDetach removes the buffered-send buffer, returning its size.
+func (c *Comm) BufferDetach() int { return c.ep.BufferDetach() }
+
+// String identifies the communicator in traces.
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm(ctx=%d rank=%d/%d)", c.ctx, c.rank, len(c.group))
+}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Prebuilt reduction operators over packed little-endian buffers, the
+// analogues of MPI_SUM, MPI_PROD, MPI_MAX, MPI_MIN, MPI_BAND, MPI_BOR.
+
+func float64Op(f func(a, b float64) float64) Op {
+	return func(dst, src []byte) {
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(f(a, b)))
+		}
+	}
+}
+
+func int64Op(f func(a, b int64) int64) Op {
+	return func(dst, src []byte) {
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(f(a, b)))
+		}
+	}
+}
+
+// Float64 reductions.
+var (
+	SumFloat64  = float64Op(func(a, b float64) float64 { return a + b })
+	ProdFloat64 = float64Op(func(a, b float64) float64 { return a * b })
+	MaxFloat64  = float64Op(math.Max)
+	MinFloat64  = float64Op(math.Min)
+)
+
+// Int64 reductions.
+var (
+	SumInt64 = int64Op(func(a, b int64) int64 { return a + b })
+	MaxInt64 = int64Op(func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	MinInt64 = int64Op(func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+)
+
+func float32Op(f func(a, b float32) float32) Op {
+	return func(dst, src []byte) {
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(f(a, b)))
+		}
+	}
+}
+
+func int32Op(f func(a, b int32) int32) Op {
+	return func(dst, src []byte) {
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst[i:]))
+			b := int32(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(f(a, b)))
+		}
+	}
+}
+
+// Float32 and Int32 reductions.
+var (
+	SumFloat32 = float32Op(func(a, b float32) float32 { return a + b })
+	MaxFloat32 = float32Op(func(a, b float32) float32 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	SumInt32 = int32Op(func(a, b int32) int32 { return a + b })
+	MaxInt32 = int32Op(func(a, b int32) int32 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	MinInt32 = int32Op(func(a, b int32) int32 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+)
+
+// Bitwise reductions over raw bytes.
+var (
+	BAnd Op = func(dst, src []byte) {
+		for i := range dst {
+			dst[i] &= src[i]
+		}
+	}
+	BOr Op = func(dst, src []byte) {
+		for i := range dst {
+			dst[i] |= src[i]
+		}
+	}
+)
+
+// Int64Bytes and BytesInt64 encode []int64 for the reduction helpers.
+func Int64Bytes(xs []int64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// BytesInt64 decodes Int64Bytes.
+func BytesInt64(b []byte) []int64 {
+	xs := make([]int64, len(b)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// AllreduceFloat64 is a convenience wrapper reducing a float64 slice.
+func (c *Comm) AllreduceFloat64(op Op, xs []float64) ([]float64, error) {
+	out := make([]byte, 8*len(xs))
+	if err := c.Allreduce(op, Float64Bytes(xs), out); err != nil {
+		return nil, err
+	}
+	return BytesFloat64(out), nil
+}
+
+// ReduceFloat64 reduces a float64 slice to the root (nil elsewhere).
+func (c *Comm) ReduceFloat64(root int, op Op, xs []float64) ([]float64, error) {
+	out := make([]byte, 8*len(xs))
+	if err := c.Reduce(root, op, Float64Bytes(xs), out); err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return BytesFloat64(out), nil
+}

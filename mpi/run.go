@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Report summarizes one job run.
+type Report struct {
+	// Elapsed is the virtual time at which the whole simulation drained.
+	Elapsed sim.Duration
+	// RankElapsed is each rank's virtual finish time.
+	RankElapsed []sim.Duration
+	// MaxRankElapsed is the slowest rank's finish time — the job's
+	// wall-clock in the paper's figures.
+	MaxRankElapsed sim.Duration
+	// Errs holds the per-rank body errors (nil entries for success).
+	Errs []error
+	// Acct is the merged cost account across ranks.
+	Acct *core.Acct
+	// RankAccts are the per-rank accounts (indexed by world rank).
+	RankAccts []*core.Acct
+	// Protocol collects asynchronous protocol errors recorded at any rank
+	// (e.g. a ready-mode send that arrived before its receive was posted)
+	// — erroneous-program conditions MPI cannot attach to a call.
+	Protocol []error
+}
+
+// FirstErr reports the first per-rank error, if any.
+func (r *Report) FirstErr() error {
+	for _, e := range r.Errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Launch spawns one simulated process per rank running body, drives the
+// simulation to completion, and gathers the report. Deadlocks in the
+// application (e.g. mismatched sends/receives) surface as the returned
+// error, naming the parked ranks.
+func Launch(w *World, body func(c *Comm) error) (*Report, error) {
+	n := w.Size()
+	rep := &Report{
+		RankElapsed: make([]sim.Duration, n),
+		Errs:        make([]error, n),
+		Acct:        core.NewAcct(),
+		RankAccts:   make([]*core.Acct, n),
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		w.S.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			c := NewRankComm(w, i, p)
+			rep.Errs[i] = body(c)
+			if rep.Errs[i] == nil {
+				// MPI_Finalize: drain transfers this process still owes
+				// (e.g. buffered sends awaiting their rendezvous CTS).
+				w.eps[i].Finalize(p)
+			}
+			rep.RankElapsed[i] = p.Now().Duration()
+		})
+	}
+	end, err := w.S.Run()
+	if err != nil {
+		// Reap parked rank goroutines so failed runs don't leak.
+		w.S.Shutdown()
+	}
+	rep.Elapsed = end.Duration()
+	for i := 0; i < n; i++ {
+		if rep.RankElapsed[i] > rep.MaxRankElapsed {
+			rep.MaxRankElapsed = rep.RankElapsed[i]
+		}
+		rep.RankAccts[i] = w.eps[i].Acct()
+		rep.Acct.Merge(w.eps[i].Acct())
+		if pe, ok := w.eps[i].(interface{ ProtocolErrors() []error }); ok {
+			rep.Protocol = append(rep.Protocol, pe.ProtocolErrors()...)
+		}
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, rep.FirstErr()
+}

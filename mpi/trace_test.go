@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEnableTraceRecordsTimeline(t *testing.T) {
+	w := memWorld(3)
+	tl := w.EnableTrace()
+	_, err := Launch(w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 5, make([]byte, 40)); err != nil {
+				return err
+			}
+			return c.Send(2, 6, make([]byte, 4000)) // rendezvous
+		}
+		src := 0
+		tag := 5
+		size := 40
+		if c.Rank() == 2 {
+			tag, size = 6, 4000
+		}
+		_, err := c.Recv(src, tag, make([]byte, size))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[trace.Kind]int{}
+	for _, e := range tl.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[trace.SendStart] != 2 {
+		t.Fatalf("send-start events = %d, want 2", kinds[trace.SendStart])
+	}
+	if kinds[trace.Arrive] < 2 {
+		t.Fatalf("arrive events = %d, want >= 2 (eager + rts)", kinds[trace.Arrive])
+	}
+	if kinds[trace.Match] != 2 || kinds[trace.RecvDone] != 2 {
+		t.Fatalf("match=%d recvdone=%d, want 2 each", kinds[trace.Match], kinds[trace.RecvDone])
+	}
+
+	// Per-pair stats reflect the two messages.
+	stats := tl.Stats()
+	if s := stats[0][1]; s == nil || s.Messages != 1 || s.Bytes != 40 {
+		t.Fatalf("stats[0][1] = %+v", s)
+	}
+	if s := stats[0][2]; s == nil || s.Messages != 1 || s.Bytes != 4000 {
+		t.Fatalf("stats[0][2] = %+v", s)
+	}
+	// Timestamps are monotone within the sorted view.
+	evs := tl.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatal("events out of time order")
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	w := memWorld(2)
+	_, err := Launch(w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, []byte{1})
+		}
+		_, err := c.Recv(0, 0, make([]byte, 1))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No panic, nothing to assert: tracing off is the default path.
+}

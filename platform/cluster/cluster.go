@@ -1,0 +1,163 @@
+// Package cluster runs MPI jobs on the modeled SGI workstation cluster —
+// the paper's second platform — over TCP or reliable UDP, on either the
+// 10 Mbit/s shared Ethernet or the 155 Mbit/s Fore ATM switch.
+//
+// The device re-implements the primitives the Meiko implementation
+// assumes (paper §5.1) on stream sockets: sending an envelope, sending an
+// envelope with piggybacked data, and "setting remote events and sending
+// DMA data" for rendezvous payloads. Every protocol message carries the
+// paper's 25 bytes of control information: 1 byte of message type, 4 bytes
+// of returned credit, and the 20-byte envelope. Flow control is the
+// paper's credit scheme: the receiver reserves memory per sender, senders
+// transmit optimistically against it, and freed space flows back
+// piggybacked (or explicitly when traffic is one-sided).
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/mpi"
+)
+
+// TransportKind selects the cluster transport protocol.
+type TransportKind int
+
+const (
+	// TCP carries MPI over per-pair TCP connections.
+	TCP TransportKind = iota
+	// UDP carries MPI over the reliable-UDP layer (sequence numbers,
+	// acks, retransmission).
+	UDP
+	// UNET carries MPI over the U-Net-style user-level endpoints — the
+	// kernel-bypass future work the paper's related-work section points
+	// at. ATM only.
+	UNET
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return "unet"
+	}
+}
+
+// Config describes a cluster job.
+type Config struct {
+	Hosts     int
+	Transport TransportKind
+	Network   atm.MediumKind // OverATM or OverEthernet
+	// Eager is the eager/rendezvous crossover in bytes (0 = DefaultEager).
+	Eager int
+	// CreditBytes is the per-(sender,receiver) reserved memory
+	// (0 = DefaultCredit).
+	CreditBytes int
+	// Costs overrides the kernel/wire cost model; nil means DefaultCosts.
+	Costs *atm.Costs
+	// Bcast overrides the broadcast algorithm; the default is the paper's
+	// succession of point-to-point messages (BcastLinear).
+	Bcast mpi.BcastAlg
+	// LossRate injects datagram loss (UDP transport only).
+	LossRate float64
+	// TCPNagle disables the implicit TCP_NODELAY: connections run with
+	// Nagle coalescing and delayed acks, the configuration every
+	// low-latency MPI of the era had to turn off. For the ablation.
+	TCPNagle bool
+	Seed     int64
+}
+
+// DefaultEager is the cluster crossover: socket round trips cost ~1 ms, so
+// piggybacking data with the envelope pays until the bounce-copy cost
+// rivals a rendezvous round trip (§5.1: "piggybacking data is more
+// important than in the Meiko implementation").
+const DefaultEager = 16 * 1024
+
+// DefaultCredit is the per-pair reserved receiver memory.
+const DefaultCredit = 64 * 1024
+
+// NewWorld builds the cluster and per-rank endpoints for cfg.
+func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
+	s := sim.NewScheduler(cfg.Seed + 1)
+	s.MaxEvents = 500_000_000
+	costs := atm.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	cl := atm.NewCluster(s, cfg.Hosts, costs)
+	if cfg.LossRate > 0 {
+		cl.Eth.LossRate = cfg.LossRate
+		cl.Atm.LossRate = cfg.LossRate
+	}
+	eager := cfg.Eager
+	if eager == 0 {
+		eager = DefaultEager
+	}
+	credit := cfg.CreditBytes
+	if credit == 0 {
+		credit = DefaultCredit
+	}
+
+	n := cfg.Hosts
+	trs := make([]*transport, n)
+	eps := make([]core.Endpoint, n)
+	for i := 0; i < n; i++ {
+		eng := core.NewEngine(s, i, n, clusterEngineCosts(), nil)
+		trs[i] = newTransport(cl, eng, i, n, eager, credit, cfg.Transport, cfg.Network, trs)
+		eng.SetTransport(trs[i])
+		eps[i] = eng
+	}
+	// Static all-pairs TCP mesh, as in the paper's setup.
+	if cfg.Transport == TCP {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := cl.TCPPair(i, j, cfg.Network)
+				if cfg.TCPNagle {
+					a.Nagle, a.DelayedAck = true, true
+					b.Nagle, b.DelayedAck = true, true
+				}
+				trs[i].attachConn(j, a)
+				trs[j].attachConn(i, b)
+			}
+		}
+	} else if cfg.Transport == UDP {
+		for i := 0; i < n; i++ {
+			trs[i].attachDgram(atm.NewRUDP(cl.UDPSocket(i, cfg.Network)))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			trs[i].attachDgram(unetLink{cl.UNetSocket(i)})
+		}
+	}
+
+	w := mpi.NewWorld(s, eps)
+	if cfg.Bcast != mpi.BcastAuto {
+		w.Bcast = cfg.Bcast
+	} else {
+		w.Bcast = mpi.BcastLinear // the paper's cluster MPI_Bcast
+	}
+	return w, cl
+}
+
+// Run executes body as an MPI job on the configured cluster.
+func Run(cfg Config, body func(c *mpi.Comm) error) (*mpi.Report, error) {
+	w, _ := NewWorld(cfg)
+	return mpi.Launch(w, body)
+}
+
+// clusterEngineCosts carries Table 1's user-level charges: 35 µs matching
+// on the 133 MHz SGI, plus bounce-buffer copies and call bookkeeping.
+func clusterEngineCosts() core.EngineCosts {
+	return core.EngineCosts{
+		Match:        18 * time.Microsecond, // 2 scans per message = the paper's ~35 us
+		CopyBase:     2 * time.Microsecond,
+		CopyPerByte:  60 * time.Nanosecond,
+		SendOverhead: 10 * time.Microsecond,
+		RecvOverhead: 10 * time.Microsecond,
+	}
+}

@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Extra accounting labels for Table 1's rows.
+const (
+	acctReadType = "read-type" // first read: the 1-byte message type
+	acctReadEnv  = "read-env"  // second read: credit field + envelope
+	acctReadData = "read-data" // payload reads
+)
+
+// transport implements core.Transport over the cluster's sockets.
+type transport struct {
+	cl    *atm.Cluster
+	eng   *core.Engine
+	rank  int
+	size  int
+	max   int // eager threshold
+	kind  TransportKind
+	net   atm.MediumKind
+	peers []*transport
+
+	conns []*atm.TCP // TCP mesh (nil diagonal)
+	dgram dgramLink  // UDP (reliable layer) or U-Net mode
+
+	inbox []*core.Packet
+	rr    int // round-robin parse start
+
+	// Credit flow control (sender side): bytes we may still push toward
+	// each destination's reserved memory.
+	credits    []int
+	creditCap  int
+	creditCond *sim.Cond
+	pendQ      [][]*core.Request
+	// Receiver side: freed reservation owed back to each sender.
+	owed []int
+
+	// Rendezvous state.
+	rndvSend   map[int64]*core.Request // sender requests awaiting CTS
+	rndvRecv   map[uint32]*rndvRecvSt  // receiver handle -> landing state
+	nextHandle uint32
+
+	// Buffered sends whose credits arrived; shipped on the next Poll from
+	// the owning process's context.
+	pendingShip []*core.Request
+}
+
+type rndvRecvSt struct {
+	req   *core.Request
+	env   core.Envelope // the RTS envelope (chunk headers mangle tag/count)
+	got   int           // payload bytes landed so far (UDP chunking)
+	want  int           // bytes that fit the posted buffer
+	total int           // full message size announced by the RTS
+}
+
+func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit int, kind TransportKind, net atm.MediumKind, peers []*transport) *transport {
+	t := &transport{
+		cl:         cl,
+		eng:        eng,
+		rank:       rank,
+		size:       size,
+		max:        eager,
+		kind:       kind,
+		net:        net,
+		peers:      peers,
+		conns:      make([]*atm.TCP, size),
+		credits:    make([]int, size),
+		creditCap:  credit,
+		creditCond: sim.NewCond(cl.S),
+		pendQ:      make([][]*core.Request, size),
+		owed:       make([]int, size),
+		rndvSend:   make(map[int64]*core.Request),
+		rndvRecv:   make(map[uint32]*rndvRecvSt),
+	}
+	for i := range t.credits {
+		t.credits[i] = credit
+	}
+	peers[rank] = t
+	return t
+}
+
+func (t *transport) attachConn(peer int, c *atm.TCP) {
+	t.conns[peer] = c
+	c.OnReadable(func() { t.wake() })
+}
+
+// dgramLink abstracts a reliable, in-order datagram channel: the RUDP
+// layer over UDP, or the U-Net user-level endpoint (whose dedicated
+// flow-controlled switch links are lossless and ordered by construction).
+type dgramLink interface {
+	Send(p *sim.Proc, dst int, data []byte) error
+	TryRecv(p *sim.Proc, buf []byte) (n, src int, ok bool, err error)
+	Readable() bool
+	MaxDatagram() int
+	OnArrival(fn func())
+}
+
+// unetLink adapts the U-Net endpoint to dgramLink.
+type unetLink struct{ u *atm.UNet }
+
+func (l unetLink) Send(p *sim.Proc, dst int, data []byte) error {
+	l.u.SendTo(p, dst, data)
+	return nil
+}
+
+func (l unetLink) TryRecv(p *sim.Proc, buf []byte) (int, int, bool, error) {
+	if !l.u.Readable() {
+		return 0, 0, false, nil
+	}
+	n, src := l.u.RecvFrom(p, buf)
+	return n, src, true, nil
+}
+
+func (l unetLink) Readable() bool      { return l.u.Readable() }
+func (l unetLink) MaxDatagram() int    { return atm.UNetMaxPDU }
+func (l unetLink) OnArrival(fn func()) { l.u.OnReadable(fn) }
+
+func (t *transport) attachDgram(d dgramLink) {
+	t.dgram = d
+	d.OnArrival(func() { t.wake() })
+}
+
+// wake rouses both the engine (blocked receivers) and any sender parked on
+// flow control — a credit return may be riding the arrival.
+func (t *transport) wake() {
+	t.creditCond.Broadcast()
+	t.eng.Wake()
+}
+
+var _ core.Transport = (*transport)(nil)
+
+// MaxEager implements core.Transport.
+func (t *transport) MaxEager() int { return t.max }
+
+// takeOwed consumes the credit owed to src for piggybacking.
+func (t *transport) takeOwed(src int) int {
+	c := t.owed[src]
+	t.owed[src] = 0
+	return c
+}
+
+// writeFrame ships one protocol message (header + optional payload),
+// charging p the full kernel send path.
+func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope, aux uint32, payload []byte) {
+	hdr := encodeHeader(kind, t.takeOwed(dst), env, aux)
+	frame := append(hdr[:], payload...)
+	if t.kind == TCP {
+		t.conns[dst].Write(p, frame)
+		return
+	}
+	// Datagram modes: one datagram per message; oversized payloads are
+	// chunked by the caller before reaching here.
+	if err := t.dgram.Send(p, dst, frame); err != nil {
+		t.eng.Errors = append(t.eng.Errors, err)
+	}
+}
+
+// Send implements core.Transport. It never blocks: messages short of
+// credits queue in issue order (behind any queued predecessor, including
+// rendezvous envelopes, preserving MPI's non-overtaking rule) and are
+// shipped from the owning process's next Poll once credits return.
+func (t *transport) Send(p *sim.Proc, req *core.Request) {
+	dst := req.Env.Dest
+	n := req.Env.Count
+	if len(t.pendQ[dst]) > 0 {
+		t.pendQ[dst] = append(t.pendQ[dst], req)
+		return
+	}
+	if n > t.max {
+		// Rendezvous: envelope only; the payload moves on CTS.
+		t.rndvSend[req.Env.SendID] = req
+		t.eng.Acct().Incr("rndv", 1)
+		t.writeFrame(p, dst, core.PktRTS, req.Env, 0, nil)
+		return
+	}
+	need := headerBytes + n
+	if t.credits[dst] < need {
+		t.pendQ[dst] = append(t.pendQ[dst], req)
+		return
+	}
+	t.credits[dst] -= need
+	t.eng.Acct().Incr("eager", 1)
+	t.writeFrame(p, dst, core.PktEager, req.Env, 0, req.Buf)
+	t.eng.SendDone(req)
+}
+
+// Accept implements core.Transport: register the landing buffer and send
+// the CTS naming it.
+func (t *transport) Accept(p *sim.Proc, msg *core.InMsg, req *core.Request) {
+	t.nextHandle++
+	h := t.nextHandle
+	want := msg.Env.Count
+	if want > len(req.Buf) {
+		want = len(req.Buf)
+	}
+	t.rndvRecv[h] = &rndvRecvSt{req: req, env: msg.Env, want: want, total: msg.Env.Count}
+	t.writeFrame(p, msg.Env.Source, core.PktCTS, msg.Env, h, nil)
+}
+
+// SendPayload implements core.Transport: a CTS surfaced at the sender, so
+// this process pushes the payload itself — the cluster has no co-processor
+// to do it in the background, which is exactly the progress limitation the
+// paper discusses for socket transports.
+func (t *transport) SendPayload(p *sim.Proc, req *core.Request, pkt *core.Packet) {
+	handle, _ := pkt.Handle.(uint32)
+	delete(t.rndvSend, req.Env.SendID)
+	dst := req.Env.Dest
+	data := req.Buf
+	if t.kind == TCP {
+		t.writeFrame(p, dst, core.PktData, req.Env, handle, data)
+		t.eng.SendDone(req)
+		return
+	}
+	// Datagram modes: chunk to datagram size; the chunk offset travels in
+	// the tag field (Data packets carry no user tag).
+	maxChunk := t.dgram.MaxDatagram() - headerBytes
+	for off := 0; off < len(data) || off == 0; off += maxChunk {
+		end := off + maxChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		env := req.Env
+		env.Tag = off
+		env.Count = end - off
+		t.writeFrame(p, dst, core.PktData, env, handle, data[off:end])
+		if end == len(data) {
+			break
+		}
+	}
+	t.eng.SendDone(req)
+}
+
+// Control implements core.Transport (synchronous-mode acks).
+func (t *transport) Control(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope) {
+	t.writeFrame(p, dst, kind, env, 0, nil)
+}
+
+// Release implements core.Transport: reservation freed at the receiver.
+// Credit returns piggyback on outgoing headers; when a quarter of the
+// reservation is owed (one-sided traffic), an explicit credit message
+// flushes it — keeping the pair deadlock-free.
+func (t *transport) Release(p *sim.Proc, src int, n int) {
+	t.owed[src] += n + headerBytes
+	if t.owed[src] >= t.creditCap/4 {
+		t.writeFrame(p, src, core.PktCredit, core.Envelope{Source: t.rank}, 0, nil)
+	}
+}
+
+// addCredit books returned reservation at the sender side.
+func (t *transport) addCredit(src, n int) {
+	if n == 0 {
+		return
+	}
+	t.credits[src] += n
+	t.drainPend(src)
+	t.creditCond.Broadcast()
+	t.eng.Wake()
+}
+
+// drainPend moves queued sends whose flow control cleared onto the
+// pendingShip list, in issue order; the owning process transmits them on
+// its next Poll (kernel writes need a process context to charge).
+func (t *transport) drainPend(dst int) {
+	for len(t.pendQ[dst]) > 0 {
+		req := t.pendQ[dst][0]
+		if req.Env.Count <= t.max {
+			need := headerBytes + req.Env.Count
+			if t.credits[dst] < need {
+				return
+			}
+			t.credits[dst] -= need
+		}
+		t.pendQ[dst] = t.pendQ[dst][1:]
+		t.pendingShip = append(t.pendingShip, req)
+	}
+}
+
+// Poll implements core.Transport. Shipping runs after parsing: the parse
+// step is what returns credits, and a send freed by this very poll must go
+// out now (the engine stops polling once Poll returns nil).
+func (t *transport) Poll(p *sim.Proc) *core.Packet {
+	if len(t.inbox) == 0 {
+		t.parseAvailable(p)
+	}
+	t.shipPending(p)
+	if len(t.inbox) == 0 {
+		return nil
+	}
+	pkt := t.inbox[0]
+	t.inbox = t.inbox[1:]
+	return pkt
+}
+
+// shipPending transmits queued sends whose flow control cleared.
+func (t *transport) shipPending(p *sim.Proc) {
+	for len(t.pendingShip) > 0 {
+		req := t.pendingShip[0]
+		t.pendingShip = t.pendingShip[1:]
+		if req.Env.Count > t.max {
+			t.rndvSend[req.Env.SendID] = req
+			t.eng.Acct().Incr("rndv", 1)
+			t.writeFrame(p, req.Env.Dest, core.PktRTS, req.Env, 0, nil)
+			continue
+		}
+		t.eng.Acct().Incr("eager", 1)
+		t.writeFrame(p, req.Env.Dest, core.PktEager, req.Env, 0, req.Buf)
+		t.eng.SendDone(req)
+	}
+}
+
+// Pending implements core.Transport.
+func (t *transport) Pending() bool {
+	if len(t.inbox) > 0 || len(t.pendingShip) > 0 {
+		return true
+	}
+	if t.kind == TCP {
+		for _, c := range t.conns {
+			if c != nil && c.Readable() {
+				return true
+			}
+		}
+		return false
+	}
+	return t.dgram.Readable()
+}
+
+// parseAvailable consumes every complete message currently readable,
+// reporting whether anything was processed.
+func (t *transport) parseAvailable(p *sim.Proc) bool {
+	any := false
+	if t.kind != TCP {
+		for t.parseDgram(p) {
+			any = true
+		}
+		return any
+	}
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < t.size; i++ {
+			j := (t.rr + i) % t.size
+			conn := t.conns[j]
+			if conn == nil || !conn.Readable() {
+				continue
+			}
+			t.parseTCP(p, j, conn)
+			progress, any = true, true
+		}
+		t.rr = (t.rr + 1) % t.size
+	}
+	return any
+}
+
+// parseTCP consumes one message from conn, performing the paper's two
+// header reads (message type, then credit+envelope) and any payload read.
+func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
+	acct := t.eng.Acct()
+	var hdr [headerBytes]byte
+
+	t0 := p.Now()
+	conn.ReadFull(p, hdr[:1])
+	acct.Book(acctReadType, sim.Duration(p.Now()-t0))
+	acct.Incr(acctReadType, 1)
+
+	t1 := p.Now()
+	conn.ReadFull(p, hdr[1:])
+	acct.Book(acctReadEnv, sim.Duration(p.Now()-t1))
+	acct.Incr(acctReadEnv, 1)
+
+	kind, credit, env, aux := decodeHeader(hdr[:])
+	t.addCredit(src, credit)
+
+	switch kind {
+	case core.PktEager:
+		payload := make([]byte, env.Count)
+		t2 := p.Now()
+		conn.ReadFull(p, payload)
+		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: payload})
+	case core.PktRTS:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
+	case core.PktCTS:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID, Handle: aux})
+	case core.PktData:
+		st := t.rndvRecv[aux]
+		if st == nil {
+			t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "rendezvous data for unknown handle %d", aux))
+			return
+		}
+		t2 := p.Now()
+		conn.ReadFull(p, st.req.Buf[:st.want])
+		if env.Count > st.want {
+			// The receive buffer was short: drain and discard the excess.
+			conn.ReadFull(p, make([]byte, env.Count-st.want))
+		}
+		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
+		delete(t.rndvRecv, aux)
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: st.req.ID})
+	case core.PktSyncAck:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
+	case core.PktCredit:
+		// Credit already booked from the header; nothing to surface.
+	default:
+		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "unknown packet kind %d from %d", kind, src))
+	}
+}
+
+// parseDgram consumes one reliable datagram, reporting whether one was
+// available.
+func (t *transport) parseDgram(p *sim.Proc) bool {
+	buf := make([]byte, t.dgram.MaxDatagram())
+	n, _, ok, err := t.dgram.TryRecv(p, buf)
+	if err != nil {
+		t.eng.Errors = append(t.eng.Errors, err)
+	}
+	if !ok {
+		return false
+	}
+	if n < headerBytes {
+		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "short datagram (%d bytes)", n))
+		return true
+	}
+	kind, credit, env, aux := decodeHeader(buf[:headerBytes])
+	t.addCredit(env.Source, credit)
+	payload := buf[headerBytes:n]
+
+	switch kind {
+	case core.PktEager:
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: data})
+	case core.PktRTS:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
+	case core.PktCTS:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID, Handle: aux})
+	case core.PktData:
+		st := t.rndvRecv[aux]
+		if st == nil {
+			t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "rendezvous data for unknown handle %d", aux))
+			return true
+		}
+		off := env.Tag // chunk offset rides in the tag field
+		if off < st.want {
+			end := off + len(payload)
+			if end > st.want {
+				end = st.want
+			}
+			copy(st.req.Buf[off:end], payload[:end-off])
+		}
+		st.got += len(payload)
+		if st.got >= st.total {
+			delete(t.rndvRecv, aux)
+			t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: st.env, ReqID: st.req.ID})
+		}
+	case core.PktSyncAck:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
+	case core.PktCredit:
+	default:
+		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "unknown packet kind %d", kind))
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// Wire header: exactly the paper's 25 bytes of protocol information.
+//
+//	byte  0      message type (packet kind in the low nibble, send mode in
+//	             the high nibble)
+//	bytes 1-4    returned credit (freed receiver reservation, piggybacked)
+//	bytes 5-24   envelope: source(2) context(2) tag(4) count(4) id(4) aux(4)
+//
+// id is the sender request for RTS/CTS/acks; aux carries the receiver-side
+// rendezvous handle (CTS/Data) or, for chunked UDP payloads, the chunk
+// offset rides in the tag field (Data packets need no user tag).
+const headerBytes = core.HeaderWireBytes // 25
+
+func encodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint32) [headerBytes]byte {
+	var h [headerBytes]byte
+	h[0] = byte(kind)&0x0F | byte(env.Mode)<<4
+	binary.BigEndian.PutUint32(h[1:5], uint32(credit))
+	binary.BigEndian.PutUint16(h[5:7], uint16(env.Source))
+	binary.BigEndian.PutUint16(h[7:9], uint16(env.Context))
+	binary.BigEndian.PutUint32(h[9:13], uint32(int32(env.Tag)))
+	binary.BigEndian.PutUint32(h[13:17], uint32(env.Count))
+	binary.BigEndian.PutUint32(h[17:21], uint32(env.SendID))
+	binary.BigEndian.PutUint32(h[21:25], aux)
+	return h
+}
+
+func decodeHeader(h []byte) (kind core.PacketKind, credit int, env core.Envelope, aux uint32) {
+	kind = core.PacketKind(h[0] & 0x0F)
+	env.Mode = core.Mode(h[0] >> 4)
+	credit = int(binary.BigEndian.Uint32(h[1:5]))
+	env.Source = int(binary.BigEndian.Uint16(h[5:7]))
+	env.Context = int(binary.BigEndian.Uint16(h[7:9]))
+	env.Tag = int(int32(binary.BigEndian.Uint32(h[9:13])))
+	env.Count = int(binary.BigEndian.Uint32(h[13:17]))
+	env.SendID = int64(binary.BigEndian.Uint32(h[17:21]))
+	aux = binary.BigEndian.Uint32(h[21:25])
+	return kind, credit, env, aux
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: header encode/decode is the identity on every field the wire
+// carries (within field widths).
+func TestHeaderRoundTripProperty(t *testing.T) {
+	prop := func(kind uint8, credit uint32, src, ctx uint16, tag int32, count, id, aux uint32, mode uint8) bool {
+		env := core.Envelope{
+			Source:  int(src),
+			Context: int(ctx),
+			Tag:     int(tag),
+			Count:   int(count),
+			SendID:  int64(id),
+			Mode:    core.Mode(mode % 4),
+		}
+		k := core.PacketKind(kind % 6)
+		h := encodeHeader(k, int(credit), env, aux)
+		if len(h) != 25 {
+			return false
+		}
+		gk, gc, genv, gaux := decodeHeader(h[:])
+		return gk == k && gc == int(credit) && gaux == aux &&
+			genv.Source == env.Source && genv.Context == env.Context &&
+			genv.Tag == env.Tag && genv.Count == env.Count &&
+			genv.SendID == env.SendID && genv.Mode == env.Mode
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderIs25Bytes(t *testing.T) {
+	if headerBytes != 25 {
+		t.Fatalf("header is %d bytes; the paper specifies 25", headerBytes)
+	}
+}
+
+func TestHeaderNegativeTag(t *testing.T) {
+	// Chunk offsets travel in the tag field and collective tags are small
+	// positives, but the codec must survive negative int32 values.
+	env := core.Envelope{Tag: -5}
+	h := encodeHeader(core.PktData, 0, env, 0)
+	_, _, got, _ := decodeHeader(h[:])
+	if got.Tag != -5 {
+		t.Fatalf("tag = %d", got.Tag)
+	}
+}

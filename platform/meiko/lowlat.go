@@ -1,0 +1,282 @@
+package meiko
+
+import (
+	"repro/internal/core"
+	"repro/internal/meiko"
+	"repro/internal/sim"
+)
+
+// envelopeTxnBytes is the control payload of a low-latency envelope
+// transaction (the engine envelope serialized into the transaction).
+const envelopeTxnBytes = 20
+
+// ctrlTxnBytes is a small control transaction (CTS, slot-free, sync ack).
+const ctrlTxnBytes = 8
+
+// slotPollCost is the SPARC cost to scan the arrival slots in Poll.
+const slotPollCost = 6000 // ns
+
+// lowlatTransport implements core.Transport on raw Meiko transactions and
+// DMAs — the paper's low-latency device. Eager messages ride a single
+// transaction into the receiver's preallocated per-sender envelope slot
+// (one outstanding message per (sender, receiver) pair, §4.1); larger
+// messages announce themselves with an envelope transaction and move by a
+// sender-Elan DMA once the receiver matches — with no SPARC involvement at
+// the sender after the CTS, unlike the cluster port.
+type lowlatTransport struct {
+	m    *meiko.Machine
+	node *meiko.Node
+	eng  *core.Engine
+	max  int
+	all  []*lowlatTransport // indexed by rank
+
+	inbox []*core.Packet
+
+	// Envelope-slot flow control: at most `slots` outstanding envelopes
+	// per destination (the paper allocates exactly one, §4.1).
+	slots    int
+	slotBusy map[int]int
+	slotCond *sim.Cond
+	pendQ    map[int][]*core.Request
+
+	// Rendezvous sends awaiting their CTS, by send request id.
+	rndv map[int64]*core.Request
+
+	// Hardware-broadcast state.
+	bcSeq   int    // last broadcast sequence delivered here
+	bcData  []byte // payload of that broadcast
+	bcCond  *sim.Cond
+	bcReady int // ready tokens collected (when acting as root)
+}
+
+func newLowlatTransport(m *meiko.Machine, node *meiko.Node, eng *core.Engine, eager, slots int, all []*lowlatTransport) *lowlatTransport {
+	if slots < 1 {
+		slots = 1
+	}
+	return &lowlatTransport{
+		m:        m,
+		node:     node,
+		eng:      eng,
+		max:      eager,
+		slots:    slots,
+		all:      all,
+		slotBusy: make(map[int]int),
+		slotCond: sim.NewCond(m.S),
+		pendQ:    make(map[int][]*core.Request),
+		rndv:     make(map[int64]*core.Request),
+		bcCond:   sim.NewCond(m.S),
+	}
+}
+
+var _ core.Transport = (*lowlatTransport)(nil)
+
+// MaxEager implements core.Transport.
+func (t *lowlatTransport) MaxEager() int { return t.max }
+
+// push delivers a packet into this rank's slot area (event context).
+func (t *lowlatTransport) push(pkt *core.Packet) {
+	t.inbox = append(t.inbox, pkt)
+	t.eng.Wake()
+}
+
+// Send implements core.Transport. Every envelope — eager or rendezvous —
+// occupies the destination's single envelope slot (§4.1's per-sender slot),
+// which also totally orders the pair's envelopes; when the slot is busy the
+// message queues and is transmitted, in issue order, as slot-free
+// acknowledgements return.
+func (t *lowlatTransport) Send(p *sim.Proc, req *core.Request) {
+	c := t.m.Costs
+	dst := req.Env.Dest
+	if t.slotBusy[dst] >= t.slots || len(t.pendQ[dst]) > 0 {
+		t.pendQ[dst] = append(t.pendQ[dst], req)
+		return
+	}
+	t.slotBusy[dst]++
+	t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+	t.transmit(req)
+}
+
+// transmit ships one envelope (proc or event context); the slot for
+// req.Env.Dest must already be held.
+func (t *lowlatTransport) transmit(req *core.Request) {
+	env := req.Env
+	dst := env.Dest
+	if env.Count > t.max {
+		t.rndv[env.SendID] = req
+		t.eng.Acct().Incr("rndv", 1)
+		t.node.Txn(dst, envelopeTxnBytes, false, func() {
+			t.all[dst].push(&core.Packet{Kind: core.PktRTS, Env: env})
+		})
+		// The envelope slot frees when the receiver consumes the RTS
+		// (see Poll); local completion comes with the DMA.
+		return
+	}
+	t.eng.Acct().Incr("eager", 1)
+	data := make([]byte, len(req.Buf))
+	copy(data, req.Buf)
+	t.node.Txn(dst, envelopeTxnBytes+len(data), false, func() {
+		t.all[dst].push(&core.Packet{Kind: core.PktEager, Env: env, Data: data})
+	})
+	t.eng.SendDone(req)
+}
+
+// Accept implements core.Transport: the receiver matched an RTS. The CTS
+// transaction goes back to the sender's Elan, which starts the payload DMA
+// autonomously — the sending SPARC never runs.
+func (t *lowlatTransport) Accept(p *sim.Proc, msg *core.InMsg, req *core.Request) {
+	c := t.m.Costs
+	t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+	src := msg.Env.Source
+	env := msg.Env
+	sender := t.all[src]
+	recvEng := t.eng
+	t.node.Txn(src, ctrlTxnBytes, false, func() {
+		sreq := sender.rndv[env.SendID]
+		if sreq == nil {
+			return
+		}
+		delete(sender.rndv, env.SendID)
+		// The CTS implies the receiver matched: synchronous-mode sends are
+		// acknowledged here, since the engine never sees the CTS.
+		sender.eng.SendAcked(sreq)
+		n := env.Count
+		if n > len(req.Buf) {
+			n = len(req.Buf)
+		}
+		payload := sreq.Buf
+		sender.node.DMA(recvEng.Rank(), n,
+			func() { sender.eng.SendDone(sreq) },
+			func() {
+				copy(req.Buf[:n], payload[:n])
+				recvEng.RecvDataDone(req, env)
+			})
+	})
+}
+
+// SendPayload implements core.Transport. CTS packets never surface to the
+// engine on this platform (the Elan consumes them), so this is never
+// reached.
+func (t *lowlatTransport) SendPayload(p *sim.Proc, req *core.Request, pkt *core.Packet) {
+}
+
+// Control implements core.Transport (synchronous-mode acks).
+func (t *lowlatTransport) Control(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope) {
+	c := t.m.Costs
+	t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+	t.node.Txn(dst, ctrlTxnBytes, false, func() {
+		t.all[dst].push(&core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
+	})
+}
+
+// Release implements core.Transport. The envelope slot was already
+// returned when Poll copied the message out of the slot area (the paper's
+// design: the library buffers data temporarily at the receiver, and the
+// per-sender slot holds only the newest envelope), so consuming the bounce
+// copy needs no further transport action.
+func (t *lowlatTransport) Release(p *sim.Proc, src int, n int) {}
+
+// slotFreed runs at the sender (event context) when a slot-free
+// transaction lands.
+func (t *lowlatTransport) slotFreed(dst int) {
+	if q := t.pendQ[dst]; len(q) > 0 {
+		req := q[0]
+		t.pendQ[dst] = q[1:]
+		// The freed slot is immediately reused by the queued send.
+		t.transmit(req)
+		return
+	}
+	t.slotBusy[dst]--
+	if t.slotBusy[dst] < 0 {
+		t.slotBusy[dst] = 0
+	}
+	t.slotCond.Broadcast()
+	t.eng.Wake()
+}
+
+// Poll implements core.Transport: scan the slot area for the next
+// arrival. Consuming any envelope — eager payload copied to the library's
+// buffer, or a rendezvous announcement read out — frees the sender's slot
+// with a small acknowledgement transaction, so the pair's next envelope
+// may travel while this message waits (possibly unmatched) in the
+// unexpected queue.
+func (t *lowlatTransport) Poll(p *sim.Proc) *core.Packet {
+	if len(t.inbox) == 0 {
+		return nil
+	}
+	t.eng.Acct().Charge(p, core.CostProtocol, slotPollCost)
+	pkt := t.inbox[0]
+	t.inbox = t.inbox[1:]
+	switch pkt.Kind {
+	case core.PktEager, core.PktRTS:
+		t.eng.Acct().Charge(p, core.CostProtocol, t.m.Costs.TxnIssue)
+		me := t.eng.Rank()
+		src := pkt.Env.Source
+		t.node.Txn(src, ctrlTxnBytes, false, func() {
+			t.all[src].slotFreed(me)
+		})
+	}
+	return pkt
+}
+
+// Pending implements core.Transport.
+func (t *lowlatTransport) Pending() bool { return len(t.inbox) > 0 }
+
+// LowLatEndpoint is the low-latency engine plus the CS/2 hardware
+// broadcast.
+type LowLatEndpoint struct {
+	*core.Engine
+	tr *lowlatTransport
+}
+
+var _ core.HWBcaster = (*LowLatEndpoint)(nil)
+
+// HWBcast implements core.HWBcaster using the CS/2 broadcast network: the
+// root gathers tiny ready transactions (flow control), then injects the
+// payload once; every other node's Elan deposits it into the broadcast
+// slot where the waiting SPARC copies it out.
+func (ep *LowLatEndpoint) HWBcast(p *sim.Proc, root, ctx int, buf []byte) error {
+	t := ep.tr
+	c := t.m.Costs
+	size := ep.Size()
+	if size == 1 {
+		return nil
+	}
+	acct := ep.Acct()
+	if ep.Rank() != root {
+		// Tell the root we are ready to receive, then wait for the
+		// broadcast to land in our slot.
+		seq := t.bcSeq
+		acct.Charge(p, core.CostProtocol, c.TxnIssue)
+		t.node.Txn(root, ctrlTxnBytes, false, func() {
+			rt := t.all[root]
+			rt.bcReady++
+			rt.bcCond.Broadcast()
+		})
+		for t.bcSeq == seq {
+			t.bcCond.Wait(p)
+		}
+		n := copy(buf, t.bcData)
+		acct.Charge(p, core.CostSync, c.ElanSync)
+		acct.Charge(p, core.CostCopy, c.CopyBase+sim.Duration(n)*c.CopyPerByte)
+		return nil
+	}
+
+	// Root: wait for everyone, then broadcast.
+	for t.bcReady < size-1 {
+		t.bcCond.Wait(p)
+	}
+	t.bcReady -= size - 1
+	acct.Charge(p, core.CostProtocol, c.DMAIssue)
+	payload := make([]byte, len(buf))
+	copy(payload, buf)
+	done := t.m.NewEvent()
+	t.node.Broadcast(len(payload), func() { done.Set() }, func(dst *meiko.Node) {
+		rt := t.all[dst.ID]
+		rt.bcData = payload
+		rt.bcSeq++
+		rt.bcCond.Broadcast()
+	})
+	done.Wait(p)
+	acct.Incr("hwbcast", 1)
+	return nil
+}

@@ -1,0 +1,67 @@
+package meiko
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: the MPICH tag encoding round-trips (ctx, src, tag) and the
+// receive pattern matches exactly the envelopes MPI semantics say it must.
+func TestMPICHTagEncodingProperty(t *testing.T) {
+	prop := func(ctx, src uint16, tag uint32, wildcardSrc, wildcardTag bool) bool {
+		tg := int(tag & 0xFFFFFF)
+		enc := encodeMPICHTag(int(ctx), int(src), tg)
+		// Decode the fields back.
+		if int((enc&mpichSrcMask)>>mpichSrcSh) != int(src) {
+			return false
+		}
+		if int(enc&mpichTagMask) != tg {
+			return false
+		}
+		if int((enc&mpichCtxMask)>>mpichCtxSh) != int(ctx) {
+			return false
+		}
+		wantSrc := int(src)
+		if wildcardSrc {
+			wantSrc = core.AnySource
+		}
+		wantTag := tg
+		if wildcardTag {
+			wantTag = core.AnyTag
+		}
+		want, mask := recvPattern(int(ctx), wantSrc, wantTag)
+		// The message must match its own pattern...
+		if enc&mask != want&mask {
+			return false
+		}
+		// ...but not with the sync bit flipped into the ack channel.
+		ack := enc | mpichAckBit
+		return ack&mask != want&mask
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvPatternContextNeverWild(t *testing.T) {
+	want, mask := recvPattern(3, core.AnySource, core.AnyTag)
+	other := encodeMPICHTag(4, 1, 1)
+	if other&mask == want&mask {
+		t.Fatal("pattern matched a different context")
+	}
+	same := encodeMPICHTag(3, 9, 12345)
+	if same&mask != want&mask {
+		t.Fatal("wildcard pattern rejected a matching envelope")
+	}
+}
+
+func TestSyncBitIgnoredInMatching(t *testing.T) {
+	want, mask := recvPattern(1, 2, 7)
+	env := encodeMPICHTag(1, 2, 7) | mpichSyncBit
+	if env&mask != want&mask {
+		t.Fatal("sync-mode envelope did not match a plain receive")
+	}
+}
