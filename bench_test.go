@@ -10,8 +10,6 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/bench"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
 )
 
 var opts = bench.Opts{Iters: 3}
@@ -33,7 +31,7 @@ func BenchmarkFigure1TransferMechanisms(b *testing.B) {
 func BenchmarkFigure1EagerRTT64B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 1<<20, 64, 3)
+		v, err := bench.MeikoPingPong("lowlatency", 1<<20, 64, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +43,7 @@ func BenchmarkFigure1EagerRTT64B(b *testing.B) {
 func BenchmarkFigure1RendezvousRTT64B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 1, 64, 3)
+		v, err := bench.MeikoPingPong("lowlatency", 1, 64, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +57,7 @@ func BenchmarkFigure1RendezvousRTT64B(b *testing.B) {
 func BenchmarkFigure2LowLatency1B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoPingPong(pmeiko.LowLatency, 0, 1, 5)
+		v, err := bench.MeikoPingPong("lowlatency", 0, 1, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +69,7 @@ func BenchmarkFigure2LowLatency1B(b *testing.B) {
 func BenchmarkFigure2MPICH1B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoPingPong(pmeiko.MPICH, 0, 1, 5)
+		v, err := bench.MeikoPingPong("mpich", 0, 1, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +91,7 @@ func BenchmarkFigure2Tport1B(b *testing.B) {
 func BenchmarkFigure3LowLatencyBandwidth(b *testing.B) {
 	var mbps float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoBandwidth(pmeiko.LowLatency, 256<<10, 4)
+		v, err := bench.MeikoBandwidth("lowlatency", 256<<10, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +103,7 @@ func BenchmarkFigure3LowLatencyBandwidth(b *testing.B) {
 func BenchmarkFigure3MPICHBandwidth(b *testing.B) {
 	var mbps float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.MeikoBandwidth(pmeiko.MPICH, 256<<10, 4)
+		v, err := bench.MeikoBandwidth("mpich", 256<<10, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +143,7 @@ func BenchmarkFigure4UDPOverATM(b *testing.B) {
 func BenchmarkFigure5MPIOverTCPEthernet1B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ClusterPingPong(pcluster.TCP, atm.OverEthernet, 1, 5)
+		v, err := bench.ClusterPingPong("tcp", "eth", 1, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +155,7 @@ func BenchmarkFigure5MPIOverTCPEthernet1B(b *testing.B) {
 func BenchmarkFigure5MPIOverTCPATM1B(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ClusterPingPong(pcluster.TCP, atm.OverATM, 1, 5)
+		v, err := bench.ClusterPingPong("tcp", "atm", 1, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +204,7 @@ func BenchmarkTable1Breakdown(b *testing.B) {
 func BenchmarkFigure6MPIOverTCPATM(b *testing.B) {
 	var mbps float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ClusterBandwidth(pcluster.TCP, atm.OverATM, 64<<10, 4)
+		v, err := bench.ClusterBandwidth("tcp", "atm", 64<<10, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +216,7 @@ func BenchmarkFigure6MPIOverTCPATM(b *testing.B) {
 func BenchmarkFigure6MPIOverTCPEthernet(b *testing.B) {
 	var mbps float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ClusterBandwidth(pcluster.TCP, atm.OverEthernet, 64<<10, 4)
+		v, err := bench.ClusterBandwidth("tcp", "eth", 64<<10, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +230,7 @@ func BenchmarkFigure6MPIOverTCPEthernet(b *testing.B) {
 func BenchmarkFigure7LinsolveLowLatency8P(b *testing.B) {
 	var sec float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.LinsolveMeiko(pmeiko.LowLatency, 8, 64)
+		v, err := bench.LinsolveMeiko("lowlatency", 8, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +242,7 @@ func BenchmarkFigure7LinsolveLowLatency8P(b *testing.B) {
 func BenchmarkFigure7LinsolveMPICH8P(b *testing.B) {
 	var sec float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.LinsolveMeiko(pmeiko.MPICH, 8, 64)
+		v, err := bench.LinsolveMeiko("mpich", 8, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +256,7 @@ func BenchmarkFigure7LinsolveMPICH8P(b *testing.B) {
 func BenchmarkFigure8ParticlesLowLatency8P(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ParticlesMeiko(pmeiko.LowLatency, 8, 24)
+		v, err := bench.ParticlesMeiko("lowlatency", 8, 24)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +268,7 @@ func BenchmarkFigure8ParticlesLowLatency8P(b *testing.B) {
 func BenchmarkFigure8ParticlesMPICH8P(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ParticlesMeiko(pmeiko.MPICH, 8, 24)
+		v, err := bench.ParticlesMeiko("mpich", 8, 24)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +282,7 @@ func BenchmarkFigure8ParticlesMPICH8P(b *testing.B) {
 func BenchmarkFigure9ParticlesEthernet4P(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ParticlesCluster(atm.OverEthernet, 4, 128)
+		v, err := bench.ParticlesCluster("eth", 4, 128)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +294,7 @@ func BenchmarkFigure9ParticlesEthernet4P(b *testing.B) {
 func BenchmarkFigure9ParticlesATM4P(b *testing.B) {
 	var us float64
 	for i := 0; i < b.N; i++ {
-		v, err := bench.ParticlesCluster(atm.OverATM, 4, 128)
+		v, err := bench.ParticlesCluster("atm", 4, 128)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,35 +1,68 @@
-// Command mpirun launches any of the built-in applications on either
-// modeled platform — the front door for kicking the tires:
+// Command mpirun launches any of the built-in applications on any
+// registered backend — the front door for kicking the tires:
 //
 //	mpirun -np 8 -app linsolve -platform meiko -impl lowlatency -n 128
 //	mpirun -np 4 -app particles -platform cluster -net eth
 //	mpirun -np 8 -app samplesort -platform cluster -transport unet
+//
+// Backends come from platform/registry; -platform/-impl/-transport are
+// validated against the registered names, so a typo prints the listing
+// instead of silently falling back to a default.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/atm"
 	"repro/mpi"
-	"repro/platform/cluster"
-	"repro/platform/meiko"
+	"repro/platform/registry"
+
+	_ "repro/platform/cluster"
+	_ "repro/platform/meiko"
 )
+
+// appNames lists the launchable applications, for validation and usage.
+var appNames = []string{"linsolve", "matmul", "particles", "samplesort"}
 
 func main() {
 	log.SetFlags(0)
 	np := flag.Int("np", 4, "number of ranks")
-	app := flag.String("app", "linsolve", "linsolve | matmul | particles | samplesort")
-	platform := flag.String("platform", "meiko", "meiko | cluster")
-	impl := flag.String("impl", "lowlatency", "meiko implementation: lowlatency | mpich")
-	transport := flag.String("transport", "tcp", "cluster transport: tcp | udp | unet")
-	network := flag.String("net", "atm", "cluster network: atm | eth")
+	app := flag.String("app", "linsolve", strings.Join(appNames, " | "))
+	platform := flag.String("platform", "meiko", "meiko | cluster | mem")
+	impl := flag.String("impl", "", "meiko implementation: lowlatency | mpich (default lowlatency)")
+	transport := flag.String("transport", "", "cluster transport: tcp | udp | unet (default tcp)")
+	network := flag.String("net", "", "cluster network: atm | eth (default atm)")
 	n := flag.Int("n", 0, "problem size (0 = per-app default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	fattree := flag.Bool("fattree", false, "meiko: staged fat-tree congestion model")
 	flag.Parse()
+
+	validApp := false
+	for _, name := range appNames {
+		if *app == name {
+			validApp = true
+			break
+		}
+	}
+	if !validApp {
+		log.Fatalf("mpirun: unknown app %q\napps: %s", *app, strings.Join(appNames, ", "))
+	}
+
+	spec := registry.Spec{
+		Platform:  *platform,
+		Impl:      *impl,
+		Transport: *transport,
+		Network:   *network,
+		Ranks:     *np,
+		FatTree:   *fattree,
+	}
+	if _, ok := registry.Lookup(spec.Key()); !ok {
+		log.Fatalf("mpirun: no backend %q\nregistered backends:\n  %s",
+			spec.Key(), strings.Join(registry.Names(), "\n  "))
+	}
 
 	secPerFlop := apps.MeikoSecPerFlop
 	if *platform == "cluster" {
@@ -89,40 +122,14 @@ func main() {
 			if c.Rank() == 0 {
 				fmt.Printf("samplesort N=%d: %.1fus virtual, rank0 holds %d keys\n", size, float64(res.Elapsed)/1e3, len(res.Sorted))
 			}
-		default:
-			return fmt.Errorf("unknown app %q", *app)
 		}
 		return nil
 	}
 
-	var rep *mpi.Report
-	var err error
-	switch *platform {
-	case "meiko":
-		im := meiko.LowLatency
-		if *impl == "mpich" {
-			im = meiko.MPICH
-		}
-		rep, err = meiko.Run(meiko.Config{Nodes: *np, Impl: im, FatTree: *fattree}, body)
-	case "cluster":
-		tr := cluster.TCP
-		switch *transport {
-		case "udp":
-			tr = cluster.UDP
-		case "unet":
-			tr = cluster.UNET
-		}
-		net := atm.OverATM
-		if *network == "eth" {
-			net = atm.OverEthernet
-		}
-		rep, err = cluster.Run(cluster.Config{Hosts: *np, Transport: tr, Network: net}, body)
-	default:
-		log.Fatalf("unknown platform %q", *platform)
-	}
+	rep, err := registry.Run(spec, body)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("job: %d ranks, finished at virtual t=%v (%d sends, %d receives)\n",
-		*np, rep.MaxRankElapsed, rep.Acct.Count["send"], rep.Acct.Count["recv"])
+	fmt.Printf("job: %d ranks on %s, finished at virtual t=%v (%d sends, %d receives)\n",
+		*np, spec.Key(), rep.MaxRankElapsed, rep.Acct.Count["send"], rep.Acct.Count["recv"])
 }

@@ -32,11 +32,14 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+	jsonPath := flag.String("json", "BENCH_anchors.json", "with -anchors: write the machine-readable record here (\"\" disables)")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
+	var figures []bench.Figure
 	emit := func(f bench.Figure) {
 		fmt.Println(f)
+		figures = append(figures, f)
 		if *svgDir == "" {
 			return
 		}
@@ -72,11 +75,13 @@ func main() {
 		flag.Usage()
 		return
 	}
+	var anchorTable []bench.Anchor
 	if *anchors {
 		as, err := bench.Anchors(o)
 		if err != nil {
 			log.Fatalf("anchors: %v", err)
 		}
+		anchorTable = as
 		fmt.Println(bench.FormatAnchors(as))
 	}
 
@@ -130,5 +135,19 @@ func main() {
 			}
 			emit(f)
 		}
+	}
+
+	// With -anchors, the same run also lands as a machine-readable record
+	// (anchors plus any figures regenerated above) for perf-trajectory
+	// tracking across revisions.
+	if *anchors && *jsonPath != "" {
+		data, err := bench.NewAnchorsReport(anchorTable, figures).Marshal()
+		if err != nil {
+			log.Fatalf("anchors json: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
 	}
 }

@@ -10,38 +10,31 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/atm"
 	"repro/mpi"
-	"repro/platform/cluster"
-	"repro/platform/meiko"
+	"repro/platform/registry"
+
+	_ "repro/platform/cluster"
+	_ "repro/platform/meiko"
 )
 
 func main() {
 	log.SetFlags(0)
-	platform := flag.String("platform", "meiko", "meiko or cluster")
-	impl := flag.String("impl", "lowlatency", "meiko implementation: lowlatency or mpich")
+	platform := flag.String("platform", "meiko", "meiko | cluster | mem")
+	impl := flag.String("impl", "", "meiko implementation: lowlatency | mpich (default lowlatency)")
 	ranks := flag.Int("ranks", 3, "number of ranks")
 	size := flag.Int("size", 64, "message payload bytes")
 	flag.Parse()
 
-	var w *mpi.World
-	switch *platform {
-	case "meiko":
-		im := meiko.LowLatency
-		if *impl == "mpich" {
-			im = meiko.MPICH
-		}
-		w, _ = meiko.NewWorld(meiko.Config{Nodes: *ranks, Impl: im})
-	case "cluster":
-		w, _ = cluster.NewWorld(cluster.Config{Hosts: *ranks, Transport: cluster.TCP, Network: atm.OverATM})
-	default:
-		log.Fatalf("unknown platform %q", *platform)
+	spec := registry.Spec{Platform: *platform, Impl: *impl, Ranks: *ranks}
+	w, err := registry.Build(spec)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
 	}
 	tl := w.EnableTrace()
 
 	n := *ranks
 	payload := *size
-	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+	_, err = mpi.Launch(w, func(c *mpi.Comm) error {
 		// A short pipeline: each rank sends to the next, the last replies
 		// to rank 0 — enough traffic to show sends, arrivals, matches and
 		// completions interleaving.

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/atm"
 	"repro/mpi"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
+	"repro/platform/registry"
 )
 
 // Ablations beyond the paper's figures, covering the design choices
@@ -25,7 +23,7 @@ func AblationThreshold(o Opts) (Figure, error) {
 	var s Series
 	s.Name = fmt.Sprintf("%dB RTT", size)
 	for _, th := range thresholds {
-		us, err := MeikoPingPong(pmeiko.LowLatency, th, size, o.Iters)
+		us, err := MeikoPingPong("lowlatency", th, size, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -64,7 +62,7 @@ func AblationBcast(o Opts) (Figure, error) {
 		var s Series
 		s.Name = a.name
 		for _, p := range procs {
-			rep, err := pmeiko.Run(pmeiko.Config{Nodes: p, Impl: pmeiko.LowLatency, Bcast: a.alg}, func(c *mpi.Comm) error {
+			rep, err := registry.Run(registry.Spec{Platform: "meiko", Ranks: p, Bcast: a.alg}, func(c *mpi.Comm) error {
 				buf := make([]byte, 1024)
 				for i := 0; i < o.Iters; i++ {
 					if err := c.Bcast(0, buf); err != nil {
@@ -110,7 +108,7 @@ func AblationBcastLarge(o Opts) (Figure, error) {
 		var s Series
 		s.Name = a.name
 		for _, p := range procs {
-			rep, err := pmeiko.Run(pmeiko.Config{Nodes: p, Impl: pmeiko.LowLatency, Bcast: a.alg}, func(c *mpi.Comm) error {
+			rep, err := registry.Run(registry.Spec{Platform: "meiko", Ranks: p, Bcast: a.alg}, func(c *mpi.Comm) error {
 				buf := make([]byte, 128<<10)
 				for i := 0; i < 3; i++ {
 					if err := c.Bcast(0, buf); err != nil {
@@ -138,12 +136,15 @@ func AblationUDPLoss(o Opts) (Figure, error) {
 	var s Series
 	s.Name = "256B RTT"
 	for _, r := range rates {
-		w, _ := pcluster.NewWorld(pcluster.Config{
-			Hosts:     2,
-			Transport: pcluster.UDP,
-			Network:   atm.OverATM,
+		w, err := registry.Build(registry.Spec{
+			Platform:  "cluster",
+			Transport: "udp",
+			Ranks:     2,
 			LossRate:  float64(r) / 100,
 		})
+		if err != nil {
+			return Figure{}, err
+		}
 		us, err := mpiPingPong(w, 256, o.Iters*4)
 		if err != nil {
 			return Figure{}, err
@@ -168,11 +169,11 @@ func AblationMatchLocation(o Opts) (Figure, error) {
 	var s Series
 	s.Name = "mpich - lowlat"
 	for _, n := range []int{1, 64, 256, 1024, 4096} {
-		m, err := MeikoPingPong(pmeiko.MPICH, 0, n, o.Iters)
+		m, err := MeikoPingPong("mpich", 0, n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := MeikoPingPong(pmeiko.LowLatency, 0, n, o.Iters)
+		l, err := MeikoPingPong("lowlatency", 0, n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -195,7 +196,10 @@ func AblationMatchLocation(o Opts) (Figure, error) {
 func AblationNagle(o Opts) (Figure, error) {
 	o = o.Norm()
 	run := func(nagle bool) (float64, error) {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: pcluster.TCP, Network: atm.OverATM, TCPNagle: nagle})
+		w, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, TCPNagle: nagle})
+		if err != nil {
+			return 0, err
+		}
 		const msgs = 20
 		rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
 			if c.Rank() == 0 {
@@ -246,10 +250,10 @@ func AblationUNet(o Opts) (Figure, error) {
 	s.Name = "1B MPI RTT"
 	kinds := []struct {
 		x  int
-		tr pcluster.TransportKind
-	}{{0, pcluster.UNET}, {1, pcluster.UDP}, {2, pcluster.TCP}}
+		tr string
+	}{{0, "unet"}, {1, "udp"}, {2, "tcp"}}
 	for _, k := range kinds {
-		us, err := ClusterPingPong(k.tr, atm.OverATM, 1, o.Iters)
+		us, err := ClusterPingPong(k.tr, "atm", 1, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -274,7 +278,10 @@ func AblationSlots(o Opts) (Figure, error) {
 	var s Series
 	s.Name = "100B one-way stream"
 	for _, slots := range []int{1, 2, 4, 8} {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: 2, Impl: pmeiko.LowLatency, EnvelopeSlots: slots})
+		w, err := registry.Build(registry.Spec{Platform: "meiko", Ranks: 2, EnvelopeSlots: slots})
+		if err != nil {
+			return Figure{}, err
+		}
 		const msgs = 20
 		rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
 			if c.Rank() == 0 {
@@ -317,7 +324,10 @@ func AblationCredits(o Opts) (Figure, error) {
 	var s Series
 	s.Name = "1KB one-way stream"
 	for _, kb := range []int{2, 4, 16, 64} {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: pcluster.TCP, Network: atm.OverATM, CreditBytes: kb * 1024})
+		w, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Credit: kb * 1024})
+		if err != nil {
+			return Figure{}, err
+		}
 		const msgs = 16
 		rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
 			if c.Rank() == 0 {
@@ -358,7 +368,7 @@ func AblationNonblockingOverlap(o Opts) (Figure, error) {
 	const size = 200_000
 	compute := []int{0, 2, 5, 10} // ms of overlap-able work
 	run := func(nonblocking bool, computeMS int) (float64, error) {
-		rep, err := pmeiko.Run(pmeiko.Config{Nodes: 2, Impl: pmeiko.LowLatency}, func(c *mpi.Comm) error {
+		rep, err := registry.Run(registry.Spec{Platform: "meiko", Ranks: 2}, func(c *mpi.Comm) error {
 			if c.Rank() == 0 {
 				data := make([]byte, size)
 				if nonblocking {

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/atm"
-	pmeiko "repro/platform/meiko"
 )
 
 // Anchor is one calibration target from the paper, with the measured value.
@@ -37,11 +36,11 @@ func Anchors(o Opts) ([]Anchor, error) {
 	iters := o.Iters * 2
 
 	tport := TportPingPong(1, iters)
-	lowlat, err := MeikoPingPong(pmeiko.LowLatency, 0, 1, iters)
+	lowlat, err := MeikoPingPong("lowlatency", 0, 1, iters)
 	if err != nil {
 		return nil, err
 	}
-	mpich, err := MeikoPingPong(pmeiko.MPICH, 0, 1, iters)
+	mpich, err := MeikoPingPong("mpich", 0, 1, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +48,7 @@ func Anchors(o Opts) ([]Anchor, error) {
 	if err != nil {
 		return nil, err
 	}
-	bw, err := MeikoBandwidth(pmeiko.LowLatency, 1<<20, 3)
+	bw, err := MeikoBandwidth("lowlatency", 1<<20, 3)
 	if err != nil {
 		return nil, err
 	}

@@ -4,17 +4,15 @@ import (
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/atm"
 	"repro/mpi"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
+	"repro/platform/registry"
 )
 
 // LinsolveMeiko runs the Figure 7 solver and reports the root's elapsed
-// seconds.
-func LinsolveMeiko(impl pmeiko.Impl, procs, n int) (float64, error) {
+// seconds. impl is a registry implementation name ("lowlatency" | "mpich").
+func LinsolveMeiko(impl string, procs, n int) (float64, error) {
 	var el time.Duration
-	_, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: impl}, func(c *mpi.Comm) error {
+	_, err := registry.Run(registry.Spec{Platform: "meiko", Impl: impl, Ranks: procs}, func(c *mpi.Comm) error {
 		res, err := apps.Linsolve(c, apps.LinsolveConfig{N: n})
 		if err != nil {
 			return err
@@ -41,11 +39,11 @@ func Figure7(o Opts) (Figure, error) {
 	mpich.Name = "mpich"
 	lowlat.Name = "low latency"
 	for _, p := range procs {
-		m, err := LinsolveMeiko(pmeiko.MPICH, p, n)
+		m, err := LinsolveMeiko("mpich", p, n)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := LinsolveMeiko(pmeiko.LowLatency, p, n)
+		l, err := LinsolveMeiko("lowlatency", p, n)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -64,8 +62,8 @@ func Figure7(o Opts) (Figure, error) {
 
 // ParticlesMeiko runs the Figure 8 ring and reports the slowest rank's
 // elapsed microseconds.
-func ParticlesMeiko(impl pmeiko.Impl, procs, n int) (float64, error) {
-	rep, err := pmeiko.Run(pmeiko.Config{Nodes: procs, Impl: impl}, func(c *mpi.Comm) error {
+func ParticlesMeiko(impl string, procs, n int) (float64, error) {
+	rep, err := registry.Run(registry.Spec{Platform: "meiko", Impl: impl, Ranks: procs}, func(c *mpi.Comm) error {
 		_, err := apps.Particles(c, apps.ParticlesConfig{N: n, Seed: 1})
 		return err
 	})
@@ -87,11 +85,11 @@ func Figure8(o Opts) (Figure, error) {
 	mpich.Name = "mpich"
 	lowlat.Name = "low latency"
 	for _, p := range procs {
-		m, err := ParticlesMeiko(pmeiko.MPICH, p, 24)
+		m, err := ParticlesMeiko("mpich", p, 24)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := ParticlesMeiko(pmeiko.LowLatency, p, 24)
+		l, err := ParticlesMeiko("lowlatency", p, 24)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -109,8 +107,8 @@ func Figure8(o Opts) (Figure, error) {
 
 // ParticlesCluster runs the Figure 9 ring over TCP and reports the slowest
 // rank's elapsed microseconds.
-func ParticlesCluster(net atm.MediumKind, procs, n int) (float64, error) {
-	rep, err := pcluster.Run(pcluster.Config{Hosts: procs, Transport: pcluster.TCP, Network: net}, func(c *mpi.Comm) error {
+func ParticlesCluster(net string, procs, n int) (float64, error) {
+	rep, err := registry.Run(registry.Spec{Platform: "cluster", Network: net, Ranks: procs}, func(c *mpi.Comm) error {
 		_, err := apps.Particles(c, apps.ParticlesConfig{N: n, Seed: 2, SecPerFlop: apps.SGISecPerFlop})
 		return err
 	})
@@ -129,11 +127,11 @@ func Figure9(o Opts) (Figure, error) {
 	eth.Name = "Ethernet"
 	am.Name = "ATM"
 	for _, p := range procs {
-		e, err := ParticlesCluster(atm.OverEthernet, p, 128)
+		e, err := ParticlesCluster("eth", p, 128)
 		if err != nil {
 			return Figure{}, err
 		}
-		a, err := ParticlesCluster(atm.OverATM, p, 128)
+		a, err := ParticlesCluster("atm", p, 128)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -164,9 +162,9 @@ func MatMulMeiko(o Opts) (Figure, error) {
 	var mpich, lowlat Series
 	mpich.Name = "mpich"
 	lowlat.Name = "low latency"
-	run := func(impl pmeiko.Impl, p int) (float64, error) {
+	run := func(impl string, p int) (float64, error) {
 		var el time.Duration
-		_, err := pmeiko.Run(pmeiko.Config{Nodes: p, Impl: impl}, func(c *mpi.Comm) error {
+		_, err := registry.Run(registry.Spec{Platform: "meiko", Impl: impl, Ranks: p}, func(c *mpi.Comm) error {
 			res, err := apps.MatMul(c, apps.MatMulConfig{N: n})
 			if err != nil {
 				return err
@@ -179,11 +177,11 @@ func MatMulMeiko(o Opts) (Figure, error) {
 		return el.Seconds(), err
 	}
 	for _, p := range procs {
-		m, err := run(pmeiko.MPICH, p)
+		m, err := run("mpich", p)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := run(pmeiko.LowLatency, p)
+		l, err := run("lowlatency", p)
 		if err != nil {
 			return Figure{}, err
 		}

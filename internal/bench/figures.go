@@ -6,8 +6,6 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/core"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
 )
 
 // Figure1 regenerates "Meiko transfer mechanisms": round-trip time of the
@@ -23,11 +21,11 @@ func Figure1(o Opts) (Figure, error) {
 	eager.Name = "Buffering"
 	rndv.Name = "No buffering"
 	for _, n := range sizes {
-		e, err := MeikoPingPong(pmeiko.LowLatency, 1<<20, n, o.Iters) // force eager
+		e, err := MeikoPingPong("lowlatency", 1<<20, n, o.Iters) // force eager
 		if err != nil {
 			return Figure{}, err
 		}
-		r, err := MeikoPingPong(pmeiko.LowLatency, 1, n, o.Iters) // force rendezvous
+		r, err := MeikoPingPong("lowlatency", 1, n, o.Iters) // force rendezvous
 		if err != nil {
 			return Figure{}, err
 		}
@@ -52,11 +50,11 @@ func Figure1(o Opts) (Figure, error) {
 func Figure1Crossover() (int, error) {
 	lo := 0
 	for n := 16; n <= 512; n += 16 {
-		e, err := MeikoPingPong(pmeiko.LowLatency, 1<<20, n, 3)
+		e, err := MeikoPingPong("lowlatency", 1<<20, n, 3)
 		if err != nil {
 			return 0, err
 		}
-		r, err := MeikoPingPong(pmeiko.LowLatency, 1, n, 3)
+		r, err := MeikoPingPong("lowlatency", 1, n, 3)
 		if err != nil {
 			return 0, err
 		}
@@ -78,11 +76,11 @@ func Figure2(o Opts) (Figure, error) {
 	lowlat.Name = "MPI(low latency)"
 	tport.Name = "Meiko tport"
 	for _, n := range latencySizes(o.Full) {
-		m, err := MeikoPingPong(pmeiko.MPICH, 0, n, o.Iters)
+		m, err := MeikoPingPong("mpich", 0, n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := MeikoPingPong(pmeiko.LowLatency, 0, n, o.Iters)
+		l, err := MeikoPingPong("lowlatency", 0, n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -108,11 +106,11 @@ func Figure3(o Opts) (Figure, error) {
 	lowlat.Name = "MPI(low latency)"
 	tport.Name = "Meiko tport"
 	for _, n := range bandwidthSizes(o.Full) {
-		m, err := MeikoBandwidth(pmeiko.MPICH, n, 4)
+		m, err := MeikoBandwidth("mpich", n, 4)
 		if err != nil {
 			return Figure{}, err
 		}
-		l, err := MeikoBandwidth(pmeiko.LowLatency, n, 4)
+		l, err := MeikoBandwidth("lowlatency", n, 4)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -164,11 +162,11 @@ func Figure5(o Opts) (Figure, error) {
 	sizes := latencySizes(o.Full)
 	sizes = append(sizes, 8192)
 	for _, n := range sizes {
-		a, err := ClusterPingPong(pcluster.TCP, atm.OverATM, n, o.Iters)
+		a, err := ClusterPingPong("tcp", "atm", n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
-		e, err := ClusterPingPong(pcluster.TCP, atm.OverEthernet, n, o.Iters)
+		e, err := ClusterPingPong("tcp", "eth", n, o.Iters)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -200,11 +198,11 @@ func Figure6(o Opts) (Figure, error) {
 		sizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 512 << 10}
 	}
 	for _, n := range sizes {
-		a, err := ClusterBandwidth(pcluster.TCP, atm.OverATM, n, 4)
+		a, err := ClusterBandwidth("tcp", "atm", n, 4)
 		if err != nil {
 			return Figure{}, err
 		}
-		e, err := ClusterBandwidth(pcluster.TCP, atm.OverEthernet, n, 4)
+		e, err := ClusterBandwidth("tcp", "eth", n, 4)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -257,11 +255,11 @@ func Table1(o Opts) (Table1Data, error) {
 	infoATM := RawTCPPingPong(atm.OverATM, 26, iters) - rawATM
 	infoEth := RawTCPPingPong(atm.OverEthernet, 26, iters) - rawEth
 
-	acctATM, err := clusterAcctPingPong(atm.OverATM, iters)
+	acctATM, err := clusterAcctPingPong("atm", iters)
 	if err != nil {
 		return Table1Data{}, err
 	}
-	acctEth, err := clusterAcctPingPong(atm.OverEthernet, iters)
+	acctEth, err := clusterAcctPingPong("eth", iters)
 	if err != nil {
 		return Table1Data{}, err
 	}

@@ -1,0 +1,75 @@
+package bench
+
+import "encoding/json"
+
+// AnchorsReport is the machine-readable record cmd/repro writes as
+// BENCH_anchors.json: the calibration anchors (the paper's 1-byte round
+// trips, the eager/rendezvous crossover, bandwidth and overhead numbers)
+// plus any figures regenerated in the same invocation (latency curves,
+// broadcast ablations), for perf-trajectory tracking across revisions.
+type AnchorsReport struct {
+	Anchors []AnchorJSON `json:"anchors"`
+	Figures []FigureJSON `json:"figures,omitempty"`
+}
+
+// AnchorJSON is one calibration anchor in the JSON record.
+type AnchorJSON struct {
+	Name      string  `json:"name"`
+	Unit      string  `json:"unit"`
+	Paper     float64 `json:"paper"`
+	Measured  float64 `json:"measured"`
+	Tolerance float64 `json:"tolerance"`
+	OK        bool    `json:"ok"`
+}
+
+// FigureJSON is one regenerated figure in the JSON record.
+type FigureJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// SeriesJSON is one curve: points as [x, y] pairs.
+type SeriesJSON struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+// NewAnchorsReport assembles the JSON record from measured anchors and
+// regenerated figures.
+func NewAnchorsReport(as []Anchor, figs []Figure) AnchorsReport {
+	rep := AnchorsReport{}
+	for _, a := range as {
+		rep.Anchors = append(rep.Anchors, AnchorJSON{
+			Name:      a.Name,
+			Unit:      a.Unit,
+			Paper:     a.Paper,
+			Measured:  a.Measured,
+			Tolerance: a.Tolerance,
+			OK:        a.Within(),
+		})
+	}
+	for _, f := range figs {
+		fj := FigureJSON{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+		for _, s := range f.Series {
+			sj := SeriesJSON{Name: s.Name}
+			for _, p := range s.Points {
+				sj.Points = append(sj.Points, [2]float64{float64(p.X), p.Y})
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		rep.Figures = append(rep.Figures, fj)
+	}
+	return rep
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r AnchorsReport) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -9,8 +9,12 @@ import (
 	"repro/internal/meiko"
 	"repro/internal/sim"
 	"repro/mpi"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
+	"repro/platform/registry"
+
+	// Every MPI-level measurement builds its world through the registry;
+	// the platforms register themselves on import.
+	_ "repro/platform/cluster"
+	_ "repro/platform/meiko"
 )
 
 // ---- MPI-level measurement primitives --------------------------------
@@ -82,28 +86,42 @@ func mpiBandwidth(w *mpi.World, chunk, iters int) (float64, error) {
 	return float64(chunk*iters) / elapsed.Seconds() / 1e6, nil
 }
 
-// MeikoPingPong measures the MPI RTT on the Meiko. eager == 0 uses the
+// MeikoPingPong measures the MPI RTT on the Meiko. impl is a registry
+// implementation name ("lowlatency" | "mpich"); eager == 0 uses the
 // default 180-byte crossover.
-func MeikoPingPong(impl pmeiko.Impl, eager, size, iters int) (float64, error) {
-	w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: 2, Impl: impl, Eager: eager})
+func MeikoPingPong(impl string, eager, size, iters int) (float64, error) {
+	w, err := registry.Build(registry.Spec{Platform: "meiko", Impl: impl, Ranks: 2, Eager: eager})
+	if err != nil {
+		return 0, err
+	}
 	return mpiPingPong(w, size, iters)
 }
 
 // MeikoBandwidth measures one-way MPI bandwidth on the Meiko in MB/s.
-func MeikoBandwidth(impl pmeiko.Impl, chunk, iters int) (float64, error) {
-	w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: 2, Impl: impl})
+func MeikoBandwidth(impl string, chunk, iters int) (float64, error) {
+	w, err := registry.Build(registry.Spec{Platform: "meiko", Impl: impl, Ranks: 2})
+	if err != nil {
+		return 0, err
+	}
 	return mpiBandwidth(w, chunk, iters)
 }
 
-// ClusterPingPong measures the MPI RTT on the cluster.
-func ClusterPingPong(tr pcluster.TransportKind, net atm.MediumKind, size, iters int) (float64, error) {
-	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: tr, Network: net})
+// ClusterPingPong measures the MPI RTT on the cluster. tr is a registry
+// transport name ("tcp" | "udp" | "unet"), net a network name ("atm" | "eth").
+func ClusterPingPong(tr, net string, size, iters int) (float64, error) {
+	w, err := registry.Build(registry.Spec{Platform: "cluster", Transport: tr, Network: net, Ranks: 2})
+	if err != nil {
+		return 0, err
+	}
 	return mpiPingPong(w, size, iters)
 }
 
 // ClusterBandwidth measures one-way MPI bandwidth on the cluster in MB/s.
-func ClusterBandwidth(tr pcluster.TransportKind, net atm.MediumKind, chunk, iters int) (float64, error) {
-	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: tr, Network: net})
+func ClusterBandwidth(tr, net string, chunk, iters int) (float64, error) {
+	w, err := registry.Build(registry.Spec{Platform: "cluster", Transport: tr, Network: net, Ranks: 2})
+	if err != nil {
+		return 0, err
+	}
 	return mpiBandwidth(w, chunk, iters)
 }
 
@@ -286,8 +304,11 @@ func RawAAL4PingPong(size, iters int) float64 {
 
 // clusterAcctPingPong runs a 1-byte MPI ping-pong and returns rank 1's
 // cost account plus the per-direction message count (Table 1's source).
-func clusterAcctPingPong(net atm.MediumKind, iters int) (*core.Acct, error) {
-	w, _ := pcluster.NewWorld(pcluster.Config{Hosts: 2, Transport: pcluster.TCP, Network: net})
+func clusterAcctPingPong(net string, iters int) (*core.Acct, error) {
+	w, err := registry.Build(registry.Spec{Platform: "cluster", Network: net, Ranks: 2})
+	if err != nil {
+		return nil, err
+	}
 	rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
 		data := make([]byte, 1)
 		if c.Rank() == 0 {

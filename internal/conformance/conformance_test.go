@@ -1,141 +1,88 @@
 package conformance
 
 import (
+	"strings"
 	"testing"
-	"time"
 
-	"repro/internal/atm"
-	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/mpi"
-	pcluster "repro/platform/cluster"
-	pmeiko "repro/platform/meiko"
+	"repro/platform/registry"
+
+	_ "repro/platform/cluster"
+	_ "repro/platform/meiko"
 )
 
 var seeds = []int64{1, 7, 42}
 
-func memFactory(n int) *mpi.World {
-	s := sim.NewScheduler(1)
-	s.MaxEvents = 50_000_000
-	fab := core.NewMemFabric(s, time.Microsecond, 180)
-	fab.Credits = 4096 // small, to exercise queued sends
-	eps := make([]core.Endpoint, n)
-	for i := range eps {
-		e := core.NewEngine(s, i, n, core.EngineCosts{}, nil)
-		fab.Attach(e)
-		eps[i] = e
-	}
-	return mpi.NewWorld(s, eps)
-}
-
-func TestMemFabric(t *testing.T) {
-	if err := Run(memFactory, seeds); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestMeikoLowLatency(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency})
+// factory adapts a registry spec into the suite's world factory.
+func factory(t *testing.T, spec registry.Spec) func(n int) *mpi.World {
+	t.Helper()
+	return func(n int) *mpi.World {
+		s := spec
+		s.Ranks = n
+		w, err := registry.Build(s)
+		if err != nil {
+			t.Fatalf("build %s: %v", s.Key(), err)
+		}
 		return w
 	}
-	if err := Run(f, seeds); err != nil {
-		t.Fatal(err)
+}
+
+// TestRegistryMatrix runs the full conformance suite over every registered
+// backend: a newly registered backend is swept automatically, with no test
+// to write.
+func TestRegistryMatrix(t *testing.T) {
+	for _, name := range registry.Names() {
+		spec := registry.SpecFor(name)
+		if spec.Platform == "mem" {
+			spec.Credit = 4096 // small, to exercise queued sends
+		}
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			if err := Run(factory(t, spec), seeds); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
-func TestMeikoMPICH(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.MPICH})
-		return w
-	}
-	if err := Run(f, seeds); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestClusterTCPOverATM(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM})
-		return w
-	}
-	if err := Run(f, seeds); err != nil {
-		t.Fatal(err)
-	}
-}
+// The remaining tests pin down configuration corners the matrix's default
+// specs don't reach.
 
 func TestClusterTCPOverEthernet(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverEthernet})
-		return w
-	}
-	if err := Run(f, seeds[:2]); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestClusterUDPOverATM(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UDP, Network: atm.OverATM})
-		return w
-	}
-	if err := Run(f, seeds[:2]); err != nil {
+	spec := registry.Spec{Platform: "cluster", Network: "eth"}
+	if err := Run(factory(t, spec), seeds[:2]); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestClusterUDPWithLoss(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UDP, Network: atm.OverATM, LossRate: 0.03})
-		return w
-	}
-	if err := Run(f, seeds[:1]); err != nil {
+	spec := registry.Spec{Platform: "cluster", Transport: "udp", LossRate: 0.03}
+	if err := Run(factory(t, spec), seeds[:1]); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // Tight flow control: tiny credit reservations force heavy queuing; the
-// suite must still pass (ordering preserved through the pending queues).
+// suite must still pass (ordering preserved through the flow layer's
+// pending queues).
 func TestClusterTightCredits(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM, CreditBytes: 2048, Eager: 1000})
-		return w
-	}
-	if err := Run(f, seeds[:2]); err != nil {
+	spec := registry.Spec{Platform: "cluster", Credit: 2048, Eager: 1000}
+	if err := Run(factory(t, spec), seeds[:2]); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // A tiny Meiko eager threshold forces everything through rendezvous.
 func TestMeikoAllRendezvous(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency, Eager: 1})
-		return w
-	}
-	if err := Run(f, seeds[:2]); err != nil {
+	spec := registry.Spec{Platform: "meiko", Eager: 1}
+	if err := Run(factory(t, spec), seeds[:2]); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // The staged fat-tree congestion model must not change semantics.
 func TestMeikoFatTree(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency, FatTree: true})
-		return w
-	}
-	if err := Run(f, seeds[:2]); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// The U-Net user-level transport (the paper's future-work direction) must
-// provide identical MPI semantics.
-func TestClusterUNet(t *testing.T) {
-	f := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.UNET, Network: atm.OverATM})
-		return w
-	}
-	if err := Run(f, seeds); err != nil {
+	spec := registry.Spec{Platform: "meiko", FatTree: true}
+	if err := Run(factory(t, spec), seeds[:2]); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -147,18 +94,10 @@ func TestSoak(t *testing.T) {
 		t.Skip("soak skipped in -short")
 	}
 	long := []int64{11, 23, 37, 59, 71}
-	f := func(n int) *mpi.World {
-		w, _ := pmeiko.NewWorld(pmeiko.Config{Nodes: n, Impl: pmeiko.LowLatency})
-		return w
-	}
-	if err := Run(f, long); err != nil {
+	if err := Run(factory(t, registry.Spec{Platform: "meiko"}), long); err != nil {
 		t.Fatal(err)
 	}
-	g := func(n int) *mpi.World {
-		w, _ := pcluster.NewWorld(pcluster.Config{Hosts: n, Transport: pcluster.TCP, Network: atm.OverATM})
-		return w
-	}
-	if err := Run(g, long[:3]); err != nil {
+	if err := Run(factory(t, registry.Spec{Platform: "cluster"}), long[:3]); err != nil {
 		t.Fatal(err)
 	}
 }

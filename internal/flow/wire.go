@@ -1,4 +1,4 @@
-package cluster
+package flow
 
 import (
 	"encoding/binary"
@@ -6,7 +6,8 @@ import (
 	"repro/internal/core"
 )
 
-// Wire header: exactly the paper's 25 bytes of protocol information.
+// Wire header: exactly the paper's 25 bytes of protocol information,
+// shared by every socket-class transport (TCP, reliable UDP, U-Net).
 //
 //	byte  0      message type (packet kind in the low nibble, send mode in
 //	             the high nibble)
@@ -16,10 +17,11 @@ import (
 // id is the sender request for RTS/CTS/acks; aux carries the receiver-side
 // rendezvous handle (CTS/Data) or, for chunked UDP payloads, the chunk
 // offset rides in the tag field (Data packets need no user tag).
-const headerBytes = core.HeaderWireBytes // 25
+const HeaderBytes = core.HeaderWireBytes // 25
 
-func encodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint32) [headerBytes]byte {
-	var h [headerBytes]byte
+// EncodeHeader serializes one protocol header.
+func EncodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint32) [HeaderBytes]byte {
+	var h [HeaderBytes]byte
 	h[0] = byte(kind)&0x0F | byte(env.Mode)<<4
 	binary.BigEndian.PutUint32(h[1:5], uint32(credit))
 	binary.BigEndian.PutUint16(h[5:7], uint16(env.Source))
@@ -31,7 +33,8 @@ func encodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint3
 	return h
 }
 
-func decodeHeader(h []byte) (kind core.PacketKind, credit int, env core.Envelope, aux uint32) {
+// DecodeHeader parses a protocol header produced by EncodeHeader.
+func DecodeHeader(h []byte) (kind core.PacketKind, credit int, env core.Envelope, aux uint32) {
 	kind = core.PacketKind(h[0] & 0x0F)
 	env.Mode = core.Mode(h[0] >> 4)
 	credit = int(binary.BigEndian.Uint32(h[1:5]))

@@ -1,4 +1,4 @@
-package cluster
+package flow
 
 import (
 	"math/rand"
@@ -21,11 +21,11 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 			Mode:    core.Mode(mode % 4),
 		}
 		k := core.PacketKind(kind % 6)
-		h := encodeHeader(k, int(credit), env, aux)
+		h := EncodeHeader(k, int(credit), env, aux)
 		if len(h) != 25 {
 			return false
 		}
-		gk, gc, genv, gaux := decodeHeader(h[:])
+		gk, gc, genv, gaux := DecodeHeader(h[:])
 		return gk == k && gc == int(credit) && gaux == aux &&
 			genv.Source == env.Source && genv.Context == env.Context &&
 			genv.Tag == env.Tag && genv.Count == env.Count &&
@@ -37,8 +37,8 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 }
 
 func TestHeaderIs25Bytes(t *testing.T) {
-	if headerBytes != 25 {
-		t.Fatalf("header is %d bytes; the paper specifies 25", headerBytes)
+	if HeaderBytes != 25 {
+		t.Fatalf("header is %d bytes; the paper specifies 25", HeaderBytes)
 	}
 }
 
@@ -46,8 +46,8 @@ func TestHeaderNegativeTag(t *testing.T) {
 	// Chunk offsets travel in the tag field and collective tags are small
 	// positives, but the codec must survive negative int32 values.
 	env := core.Envelope{Tag: -5}
-	h := encodeHeader(core.PktData, 0, env, 0)
-	_, _, got, _ := decodeHeader(h[:])
+	h := EncodeHeader(core.PktData, 0, env, 0)
+	_, _, got, _ := DecodeHeader(h[:])
 	if got.Tag != -5 {
 		t.Fatalf("tag = %d", got.Tag)
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"repro/internal/atm"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/sim"
 )
 
@@ -12,6 +13,10 @@ const (
 	acctReadEnv  = "read-env"  // second read: credit field + envelope
 	acctReadData = "read-data" // payload reads
 )
+
+// headerBytes is the paper's 25-byte protocol header, shared with the
+// other socket transports through the flow layer.
+const headerBytes = flow.HeaderBytes
 
 // transport implements core.Transport over the cluster's sockets.
 type transport struct {
@@ -31,13 +36,13 @@ type transport struct {
 	rr    int // round-robin parse start
 
 	// Credit flow control (sender side): bytes we may still push toward
-	// each destination's reserved memory.
-	credits    []int
+	// each destination's reserved memory, with queued sends held in issue
+	// order by the shared flow layer.
+	fc         *flow.Queue
 	creditCap  int
 	creditCond *sim.Cond
-	pendQ      [][]*core.Request
 	// Receiver side: freed reservation owed back to each sender.
-	owed []int
+	owed *flow.Owed
 
 	// Rendezvous state.
 	rndvSend   map[int64]*core.Request // sender requests awaiting CTS
@@ -68,17 +73,23 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 		net:        net,
 		peers:      peers,
 		conns:      make([]*atm.TCP, size),
-		credits:    make([]int, size),
 		creditCap:  credit,
 		creditCond: sim.NewCond(cl.S),
-		pendQ:      make([][]*core.Request, size),
-		owed:       make([]int, size),
-		rndvSend:   make(map[int64]*core.Request),
-		rndvRecv:   make(map[uint32]*rndvRecvSt),
+		// A quarter of the reservation owed triggers an explicit credit
+		// return (one-sided traffic), keeping the pair deadlock-free.
+		owed:     flow.NewOwed(size, credit/4),
+		rndvSend: make(map[int64]*core.Request),
+		rndvRecv: make(map[uint32]*rndvRecvSt),
 	}
-	for i := range t.credits {
-		t.credits[i] = credit
-	}
+	// Eager messages charge header+payload bytes against the receiver's
+	// reservation; rendezvous envelopes are credit-exempt (their payload is
+	// flow controlled by the CTS handshake) but still queue in issue order.
+	t.fc = flow.NewQueue(size, credit, 0, func(req *core.Request) int {
+		if req.Env.Count > t.max {
+			return 0
+		}
+		return headerBytes + req.Env.Count
+	}, eng.Acct())
 	peers[rank] = t
 	return t
 }
@@ -136,17 +147,10 @@ var _ core.Transport = (*transport)(nil)
 // MaxEager implements core.Transport.
 func (t *transport) MaxEager() int { return t.max }
 
-// takeOwed consumes the credit owed to src for piggybacking.
-func (t *transport) takeOwed(src int) int {
-	c := t.owed[src]
-	t.owed[src] = 0
-	return c
-}
-
 // writeFrame ships one protocol message (header + optional payload),
 // charging p the full kernel send path.
 func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope, aux uint32, payload []byte) {
-	hdr := encodeHeader(kind, t.takeOwed(dst), env, aux)
+	hdr := flow.EncodeHeader(kind, t.owed.Take(dst), env, aux)
 	frame := append(hdr[:], payload...)
 	if t.kind == TCP {
 		t.conns[dst].Write(p, frame)
@@ -159,33 +163,30 @@ func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env c
 	}
 }
 
-// Send implements core.Transport. It never blocks: messages short of
-// credits queue in issue order (behind any queued predecessor, including
-// rendezvous envelopes, preserving MPI's non-overtaking rule) and are
-// shipped from the owning process's next Poll once credits return.
-func (t *transport) Send(p *sim.Proc, req *core.Request) {
-	dst := req.Env.Dest
-	n := req.Env.Count
-	if len(t.pendQ[dst]) > 0 {
-		t.pendQ[dst] = append(t.pendQ[dst], req)
-		return
-	}
-	if n > t.max {
+// transmit ships one protocol message whose flow control has cleared:
+// rendezvous envelope or eager header+payload.
+func (t *transport) transmit(p *sim.Proc, req *core.Request) {
+	if req.Env.Count > t.max {
 		// Rendezvous: envelope only; the payload moves on CTS.
 		t.rndvSend[req.Env.SendID] = req
 		t.eng.Acct().Incr("rndv", 1)
-		t.writeFrame(p, dst, core.PktRTS, req.Env, 0, nil)
+		t.writeFrame(p, req.Env.Dest, core.PktRTS, req.Env, 0, nil)
 		return
 	}
-	need := headerBytes + n
-	if t.credits[dst] < need {
-		t.pendQ[dst] = append(t.pendQ[dst], req)
-		return
-	}
-	t.credits[dst] -= need
 	t.eng.Acct().Incr("eager", 1)
-	t.writeFrame(p, dst, core.PktEager, req.Env, 0, req.Buf)
+	t.writeFrame(p, req.Env.Dest, core.PktEager, req.Env, 0, req.Buf)
 	t.eng.SendDone(req)
+}
+
+// Send implements core.Transport. It never blocks: messages short of
+// credits queue in the flow layer in issue order (behind any queued
+// predecessor, including rendezvous envelopes, preserving MPI's
+// non-overtaking rule) and are shipped from the owning process's next Poll
+// once credits return.
+func (t *transport) Send(p *sim.Proc, req *core.Request) {
+	if t.fc.Offer(req) {
+		t.transmit(p, req)
+	}
 }
 
 // Accept implements core.Transport: register the landing buffer and send
@@ -244,39 +245,24 @@ func (t *transport) Control(p *sim.Proc, dst int, kind core.PacketKind, env core
 // reservation is owed (one-sided traffic), an explicit credit message
 // flushes it — keeping the pair deadlock-free.
 func (t *transport) Release(p *sim.Proc, src int, n int) {
-	t.owed[src] += n + headerBytes
-	if t.owed[src] >= t.creditCap/4 {
+	if t.owed.Add(src, n+headerBytes) {
 		t.writeFrame(p, src, core.PktCredit, core.Envelope{Source: t.rank}, 0, nil)
 	}
 }
 
-// addCredit books returned reservation at the sender side.
+// addCredit books returned reservation at the sender side: the flow layer
+// re-admits queued sends in issue order onto the pendingShip list; the
+// owning process transmits them on its next Poll (kernel writes need a
+// process context to charge).
 func (t *transport) addCredit(src, n int) {
 	if n == 0 {
 		return
 	}
-	t.credits[src] += n
-	t.drainPend(src)
+	t.fc.Grant(src, n, func(req *core.Request) {
+		t.pendingShip = append(t.pendingShip, req)
+	})
 	t.creditCond.Broadcast()
 	t.eng.Wake()
-}
-
-// drainPend moves queued sends whose flow control cleared onto the
-// pendingShip list, in issue order; the owning process transmits them on
-// its next Poll (kernel writes need a process context to charge).
-func (t *transport) drainPend(dst int) {
-	for len(t.pendQ[dst]) > 0 {
-		req := t.pendQ[dst][0]
-		if req.Env.Count <= t.max {
-			need := headerBytes + req.Env.Count
-			if t.credits[dst] < need {
-				return
-			}
-			t.credits[dst] -= need
-		}
-		t.pendQ[dst] = t.pendQ[dst][1:]
-		t.pendingShip = append(t.pendingShip, req)
-	}
 }
 
 // Poll implements core.Transport. Shipping runs after parsing: the parse
@@ -300,15 +286,7 @@ func (t *transport) shipPending(p *sim.Proc) {
 	for len(t.pendingShip) > 0 {
 		req := t.pendingShip[0]
 		t.pendingShip = t.pendingShip[1:]
-		if req.Env.Count > t.max {
-			t.rndvSend[req.Env.SendID] = req
-			t.eng.Acct().Incr("rndv", 1)
-			t.writeFrame(p, req.Env.Dest, core.PktRTS, req.Env, 0, nil)
-			continue
-		}
-		t.eng.Acct().Incr("eager", 1)
-		t.writeFrame(p, req.Env.Dest, core.PktEager, req.Env, 0, req.Buf)
-		t.eng.SendDone(req)
+		t.transmit(p, req)
 	}
 }
 
@@ -371,7 +349,7 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 	acct.Book(acctReadEnv, sim.Duration(p.Now()-t1))
 	acct.Incr(acctReadEnv, 1)
 
-	kind, credit, env, aux := decodeHeader(hdr[:])
+	kind, credit, env, aux := flow.DecodeHeader(hdr[:])
 	t.addCredit(src, credit)
 
 	switch kind {
@@ -424,7 +402,7 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "short datagram (%d bytes)", n))
 		return true
 	}
-	kind, credit, env, aux := decodeHeader(buf[:headerBytes])
+	kind, credit, env, aux := flow.DecodeHeader(buf[:headerBytes])
 	t.addCredit(env.Source, credit)
 	payload := buf[headerBytes:n]
 

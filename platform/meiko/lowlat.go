@@ -2,6 +2,7 @@ package meiko
 
 import (
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/meiko"
 	"repro/internal/sim"
 )
@@ -32,12 +33,12 @@ type lowlatTransport struct {
 
 	inbox []*core.Packet
 
-	// Envelope-slot flow control: at most `slots` outstanding envelopes
-	// per destination (the paper allocates exactly one, §4.1).
-	slots    int
-	slotBusy map[int]int
-	slotCond *sim.Cond
-	pendQ    map[int][]*core.Request
+	// Envelope-slot flow control through the shared flow layer: at most
+	// `slots` outstanding envelopes per destination (the paper allocates
+	// exactly one, §4.1), each envelope — eager or rendezvous — costing one
+	// slot, with queued successors held in issue order.
+	slots int
+	fc    *flow.Queue
 
 	// Rendezvous sends awaiting their CTS, by send request id.
 	rndv map[int64]*core.Request
@@ -53,19 +54,19 @@ func newLowlatTransport(m *meiko.Machine, node *meiko.Node, eng *core.Engine, ea
 	if slots < 1 {
 		slots = 1
 	}
-	return &lowlatTransport{
-		m:        m,
-		node:     node,
-		eng:      eng,
-		max:      eager,
-		slots:    slots,
-		all:      all,
-		slotBusy: make(map[int]int),
-		slotCond: sim.NewCond(m.S),
-		pendQ:    make(map[int][]*core.Request),
-		rndv:     make(map[int64]*core.Request),
-		bcCond:   sim.NewCond(m.S),
+	t := &lowlatTransport{
+		m:      m,
+		node:   node,
+		eng:    eng,
+		max:    eager,
+		slots:  slots,
+		all:    all,
+		rndv:   make(map[int64]*core.Request),
+		bcCond: sim.NewCond(m.S),
 	}
+	t.fc = flow.NewQueue(len(all), slots, slots,
+		func(*core.Request) int { return 1 }, eng.Acct())
+	return t
 }
 
 var _ core.Transport = (*lowlatTransport)(nil)
@@ -82,17 +83,13 @@ func (t *lowlatTransport) push(pkt *core.Packet) {
 // Send implements core.Transport. Every envelope — eager or rendezvous —
 // occupies the destination's single envelope slot (§4.1's per-sender slot),
 // which also totally orders the pair's envelopes; when the slot is busy the
-// message queues and is transmitted, in issue order, as slot-free
-// acknowledgements return.
+// message queues in the flow layer and is transmitted, in issue order, as
+// slot-free acknowledgements return.
 func (t *lowlatTransport) Send(p *sim.Proc, req *core.Request) {
-	c := t.m.Costs
-	dst := req.Env.Dest
-	if t.slotBusy[dst] >= t.slots || len(t.pendQ[dst]) > 0 {
-		t.pendQ[dst] = append(t.pendQ[dst], req)
+	if !t.fc.Offer(req) {
 		return
 	}
-	t.slotBusy[dst]++
-	t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+	t.eng.Acct().Charge(p, core.CostProtocol, t.m.Costs.TxnIssue)
 	t.transmit(req)
 }
 
@@ -176,21 +173,17 @@ func (t *lowlatTransport) Control(p *sim.Proc, dst int, kind core.PacketKind, en
 func (t *lowlatTransport) Release(p *sim.Proc, src int, n int) {}
 
 // slotFreed runs at the sender (event context) when a slot-free
-// transaction lands.
+// transaction lands: the flow layer either reuses the slot immediately for
+// the queued successor or banks it.
 func (t *lowlatTransport) slotFreed(dst int) {
-	if q := t.pendQ[dst]; len(q) > 0 {
-		req := q[0]
-		t.pendQ[dst] = q[1:]
-		// The freed slot is immediately reused by the queued send.
+	shipped := false
+	t.fc.Grant(dst, 1, func(req *core.Request) {
+		shipped = true
 		t.transmit(req)
-		return
+	})
+	if !shipped {
+		t.eng.Wake()
 	}
-	t.slotBusy[dst]--
-	if t.slotBusy[dst] < 0 {
-		t.slotBusy[dst] = 0
-	}
-	t.slotCond.Broadcast()
-	t.eng.Wake()
 }
 
 // Poll implements core.Transport: scan the slot area for the next

@@ -1,0 +1,54 @@
+package meiko
+
+import (
+	"fmt"
+
+	"repro/internal/meiko"
+	"repro/mpi"
+	"repro/platform/registry"
+)
+
+// The Meiko backends: the paper's low-latency implementation and the
+// MPICH-over-tport baseline, registered so every entrypoint builds them
+// through the registry.
+func init() {
+	registry.Register("meiko/lowlatency", func(s registry.Spec) (*mpi.World, error) {
+		cfg, err := specConfig(s)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Impl = LowLatency
+		w, _ := NewWorld(cfg)
+		return w, nil
+	})
+	registry.Register("meiko/mpich", func(s registry.Spec) (*mpi.World, error) {
+		cfg, err := specConfig(s)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Impl = MPICH
+		w, _ := NewWorld(cfg)
+		return w, nil
+	})
+}
+
+// specConfig maps the platform-neutral job spec onto this platform's
+// Config.
+func specConfig(s registry.Spec) (Config, error) {
+	cfg := Config{
+		Nodes:         s.Ranks,
+		Eager:         s.Eager,
+		Bcast:         s.Bcast,
+		FatTree:       s.FatTree,
+		EnvelopeSlots: s.EnvelopeSlots,
+		Seed:          s.Seed,
+	}
+	if s.Costs != nil {
+		costs, ok := s.Costs.(*meiko.Costs)
+		if !ok {
+			return Config{}, fmt.Errorf("meiko: spec costs are %T, want *meiko.Costs", s.Costs)
+		}
+		cfg.Costs = costs
+	}
+	return cfg, nil
+}

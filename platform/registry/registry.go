@@ -1,0 +1,168 @@
+// Package registry is the single front door for building MPI worlds: the
+// seam between the transport-independent engine and the platform ports.
+// Every backend — the Meiko low-latency and MPICH implementations, the
+// cluster's TCP/UDP/U-Net transports, and the in-memory reference fabric —
+// registers a Builder under a stable name, and every entrypoint
+// (cmd/mpirun, cmd/repro, the bench and conformance harnesses) builds
+// worlds exclusively through Build. Adding a backend (a shared-memory
+// port, a hierarchical fabric, a real-socket port) is a single Register
+// call: it immediately becomes reachable from every command and is swept
+// by the conformance matrix automatically.
+//
+// Backends live behind the engine / flow / transport layering: the engine
+// (internal/core) owns MPI semantics, the flow layer (internal/flow) owns
+// send ordering and credit/slot accounting, and each registered transport
+// owns only byte movement and its platform cost model.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/mpi"
+)
+
+// Spec describes one job: which backend to build and the knobs every
+// entrypoint may turn. The zero value of each field selects the backend's
+// calibrated default, so Spec{Platform: "meiko", Ranks: 2} is a complete
+// job description.
+type Spec struct {
+	Platform  string // "meiko" | "cluster" | "mem"
+	Impl      string // meiko implementation: "lowlatency" | "mpich" ("" = lowlatency)
+	Transport string // cluster transport: "tcp" | "udp" | "unet" ("" = tcp)
+	Network   string // cluster network: "atm" | "eth" ("" = atm)
+	Ranks     int
+	Eager     int   // eager/rendezvous crossover bytes (0 = platform default)
+	Credit    int   // cluster per-pair reserved receiver bytes (0 = default)
+	Costs     any   // platform cost-model override (*meiko.Costs, *atm.Costs; nil = calibrated)
+	Seed      int64 // workload/scheduler seed
+
+	// Ablation knobs, threaded to the platform configs.
+	Bcast         mpi.BcastAlg // broadcast algorithm override (BcastAuto = platform default)
+	LossRate      float64      // cluster: datagram loss injection (UDP)
+	TCPNagle      bool         // cluster: leave Nagle/delayed acks on (no TCP_NODELAY)
+	FatTree       bool         // meiko: staged fat-tree congestion model
+	EnvelopeSlots int          // meiko: per-pair envelope slots (0 = the paper's 1)
+}
+
+// Key reports the registry name this spec resolves to.
+func (s Spec) Key() string {
+	switch s.Platform {
+	case "meiko":
+		impl := s.Impl
+		if impl == "" {
+			impl = "lowlatency"
+		}
+		return "meiko/" + impl
+	case "cluster":
+		tr := s.Transport
+		if tr == "" {
+			tr = "tcp"
+		}
+		return "cluster/" + tr
+	default:
+		return s.Platform
+	}
+}
+
+// Builder constructs a fresh world for one job.
+type Builder func(Spec) (*mpi.World, error)
+
+var backends = map[string]Builder{}
+
+// Register adds a backend under name. Platform packages call it from
+// init(); registering a duplicate name panics (a wiring bug).
+func Register(name string, b Builder) {
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate backend %q", name))
+	}
+	backends[name] = b
+}
+
+// Names reports every registered backend, sorted.
+func Names() []string {
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup reports the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	b, ok := backends[name]
+	return b, ok
+}
+
+// SpecFor parses a registry name ("cluster/udp", "meiko/mpich", "mem")
+// back into the Spec fields that select it, for table-driven sweeps over
+// Names().
+func SpecFor(name string) Spec {
+	var s Spec
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		s.Platform = name[:i]
+		switch s.Platform {
+		case "cluster":
+			s.Transport = name[i+1:]
+		default:
+			s.Impl = name[i+1:]
+		}
+		return s
+	}
+	s.Platform = name
+	return s
+}
+
+// Build constructs the world s describes, failing with the registered
+// backend listing when the spec names no backend.
+func Build(s Spec) (*mpi.World, error) {
+	b, ok := backends[s.Key()]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q (registered: %s)", s.Key(), strings.Join(Names(), ", "))
+	}
+	if s.Ranks <= 0 {
+		return nil, fmt.Errorf("backend %q: spec needs Ranks >= 1, got %d", s.Key(), s.Ranks)
+	}
+	return b(s)
+}
+
+// Run builds the world for s and executes body as an MPI job on it.
+func Run(s Spec, body func(c *mpi.Comm) error) (*mpi.Report, error) {
+	w, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return mpi.Launch(w, body)
+}
+
+// The in-memory reference fabric: an idealized flat-latency interconnect
+// around the same engine and flow machinery, registered here so the
+// Transport contract's executable specification is itself a backend.
+func init() {
+	Register("mem", func(s Spec) (*mpi.World, error) {
+		sched := sim.NewScheduler(s.Seed + 1)
+		sched.MaxEvents = 500_000_000
+		eager := s.Eager
+		if eager == 0 {
+			eager = 180
+		}
+		fab := core.NewMemFabric(sched, time.Microsecond, eager)
+		fab.Credits = s.Credit
+		eps := make([]core.Endpoint, s.Ranks)
+		for i := range eps {
+			e := core.NewEngine(sched, i, s.Ranks, core.EngineCosts{}, nil)
+			fab.Attach(e)
+			eps[i] = e
+		}
+		w := mpi.NewWorld(sched, eps)
+		if s.Bcast != mpi.BcastAuto {
+			w.Bcast = s.Bcast
+		}
+		return w, nil
+	})
+}

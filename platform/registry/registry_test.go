@@ -1,0 +1,112 @@
+package registry_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/mpi"
+	"repro/platform/registry"
+
+	_ "repro/platform/cluster"
+	_ "repro/platform/meiko"
+)
+
+// The full backend set every entrypoint may name. A newly registered
+// backend extends this list and is picked up by the conformance matrix
+// automatically.
+var wantBackends = []string{
+	"cluster/tcp", "cluster/udp", "cluster/unet",
+	"meiko/lowlatency", "meiko/mpich",
+	"mem",
+}
+
+func TestNamesComplete(t *testing.T) {
+	got := registry.Names()
+	for _, want := range wantBackends {
+		found := false
+		for _, name := range got {
+			if name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", want, got)
+		}
+	}
+}
+
+func TestSpecKeyRoundTrip(t *testing.T) {
+	for _, name := range registry.Names() {
+		if key := registry.SpecFor(name).Key(); key != name {
+			t.Errorf("SpecFor(%q).Key() = %q", name, key)
+		}
+	}
+}
+
+func TestSpecKeyDefaults(t *testing.T) {
+	if k := (registry.Spec{Platform: "meiko"}).Key(); k != "meiko/lowlatency" {
+		t.Errorf("meiko default key = %q", k)
+	}
+	if k := (registry.Spec{Platform: "cluster"}).Key(); k != "cluster/tcp" {
+		t.Errorf("cluster default key = %q", k)
+	}
+}
+
+func TestBuildUnknownListsBackends(t *testing.T) {
+	_, err := registry.Build(registry.Spec{Platform: "hypercube", Ranks: 2})
+	if err == nil {
+		t.Fatal("unknown backend must fail")
+	}
+	for _, want := range wantBackends {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	if _, err := registry.Build(registry.Spec{Platform: "meiko"}); err == nil {
+		t.Error("zero ranks must fail")
+	}
+	if _, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Network: "token-ring"}); err == nil {
+		t.Error("unknown network must fail")
+	}
+	if _, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Costs: 42}); err == nil {
+		t.Error("wrong costs type must fail")
+	}
+	if _, err := registry.Build(registry.Spec{Platform: "cluster", Transport: "unet", Network: "eth", Ranks: 2}); err == nil {
+		t.Error("unet over ethernet must fail")
+	}
+}
+
+// Every backend must run a minimal job end to end through Run.
+func TestRunSmokeEveryBackend(t *testing.T) {
+	for _, name := range registry.Names() {
+		name := name
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			spec := registry.SpecFor(name)
+			spec.Ranks = 2
+			rep, err := registry.Run(spec, func(c *mpi.Comm) error {
+				buf := make([]byte, 8)
+				if c.Rank() == 0 {
+					if err := c.Send(1, 1, []byte("pingpong")); err != nil {
+						return err
+					}
+					_, err := c.Recv(1, 2, buf)
+					return err
+				}
+				if _, err := c.Recv(0, 1, buf); err != nil {
+					return err
+				}
+				return c.Send(0, 2, buf)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Acct.Count["send"] != 2 || rep.Acct.Count["recv"] != 2 {
+				t.Fatalf("counts = %v", rep.Acct.Count)
+			}
+		})
+	}
+}
