@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/coll"
 	"repro/mpi"
 	"repro/platform/registry"
 
@@ -38,6 +39,7 @@ func main() {
 	n := flag.Int("n", 0, "problem size (0 = per-app default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	fattree := flag.Bool("fattree", false, "meiko: staged fat-tree congestion model")
+	collTune := flag.String("coll", "", `force collective algorithms, e.g. "bcast=pipelined,allreduce=rsag" (default auto-select)`)
 	flag.Parse()
 
 	validApp := false
@@ -58,10 +60,16 @@ func main() {
 		Network:   *network,
 		Ranks:     *np,
 		FatTree:   *fattree,
+		Coll:      *collTune,
 	}
 	if _, ok := registry.Lookup(spec.Key()); !ok {
 		log.Fatalf("mpirun: no backend %q\nregistered backends:\n  %s",
 			spec.Key(), strings.Join(registry.Names(), "\n  "))
+	}
+	if _, err := coll.ParseTuning(*collTune); err != nil {
+		// Validate up front so a typo prints the registered algorithm
+		// listing instead of failing mid-job.
+		log.Fatalf("mpirun: %v", err)
 	}
 
 	secPerFlop := apps.MeikoSecPerFlop

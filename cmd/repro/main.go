@@ -28,11 +28,13 @@ func main() {
 	matmul := flag.Bool("matmul", false, "run the matrix-multiply experiment (§6.1)")
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
 	anchors := flag.Bool("anchors", false, "print the calibration-anchor comparison")
+	collectives := flag.Bool("collectives", false, "sweep every collective algorithm across sizes and derive crossovers")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG chart into this directory")
 	jsonPath := flag.String("json", "BENCH_anchors.json", "with -anchors: write the machine-readable record here (\"\" disables)")
+	collJSONPath := flag.String("colljson", "BENCH_collectives.json", "with -collectives: write the machine-readable record here (\"\" disables)")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -70,8 +72,9 @@ func main() {
 	}
 	if *all {
 		*anchors = true
+		*collectives = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives {
 		flag.Usage()
 		return
 	}
@@ -134,6 +137,24 @@ func main() {
 				log.Fatalf("ablation: %v", err)
 			}
 			emit(f)
+		}
+	}
+
+	if *collectives {
+		rep, err := bench.Collectives(o)
+		if err != nil {
+			log.Fatalf("collectives: %v", err)
+		}
+		fmt.Println(bench.FormatCollectives(rep))
+		if *collJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("collectives json: %v", err)
+			}
+			if err := os.WriteFile(*collJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *collJSONPath)
 		}
 	}
 

@@ -23,9 +23,10 @@ type TCP struct {
 	med  Medium
 	peer *TCP
 
-	rq       []byte // kernel receive buffer (delivered, unread)
-	readable *sim.Cond
-	watchers []func() // arrival callbacks (event context)
+	rq        []byte // kernel receive buffer (delivered, unread)
+	readable  *sim.Cond
+	watchers  []func() // arrival callbacks (event context)
+	wwatchers []func() // window-opened callbacks (event context)
 
 	sndCredit int // peer receive-buffer space we may consume
 	sndWait   *sim.Cond
@@ -127,6 +128,35 @@ func (c *TCP) writeSegment(p *sim.Proc, seg []byte) {
 	})
 }
 
+// WriteInterleaved is Write for callers that must keep draining their own
+// inbound side while a large frame pushes against a closed window: whenever
+// the next segment would block on window space, yield runs instead of
+// parking here. yield should consume inbound data (freeing the peer to
+// drain this frame) or park on a condition woken by both arrivals and
+// window updates (see OnWritable). Two peers pushing window-exceeding
+// frames at each other would both park forever in plain Write — the classic
+// socket-MPI progress deadlock. Costs charged to p are identical to
+// Write's.
+func (c *TCP) WriteInterleaved(p *sim.Proc, data []byte, yield func()) {
+	k := c.cl.Costs
+	p.Advance(k.SyscallWrite)
+	p.Advance(sim.Duration(len(data)) * (k.CopyPerByte + k.ChecksumPerByte))
+	mss := c.MSS()
+	for off := 0; off < len(data); off += mss {
+		end := off + mss
+		if end > len(data) {
+			end = len(data)
+		}
+		for c.sndCredit < end-off {
+			yield()
+		}
+		c.writeSegment(p, data[off:end])
+	}
+	if len(data) == 0 {
+		c.writeSegment(p, nil)
+	}
+}
+
 // Read blocks until at least one byte is available, then transfers up to
 // len(buf) bytes to the caller, charging the read syscall, the
 // medium-dependent stack cost, and the kernel-to-user copy. It returns the
@@ -210,6 +240,9 @@ func (c *TCP) transmitAck(n int) {
 			p.kernelFlushNagle()
 		}
 		p.sndWait.Broadcast()
+		for _, fn := range p.wwatchers {
+			fn()
+		}
 	})
 }
 
@@ -250,4 +283,11 @@ func (c *TCP) Readable() bool { return len(c.rq) > 0 }
 // by pollers that watch many connections. fn runs in event context.
 func (c *TCP) OnReadable(fn func()) {
 	c.watchers = append(c.watchers, fn)
+}
+
+// OnWritable registers fn to run whenever a window update restores send
+// space; a WriteInterleaved yield that parks on a shared condition needs
+// this to relay the wakeup. fn runs in event context.
+func (c *TCP) OnWritable(fn func()) {
+	c.wwatchers = append(c.wwatchers, fn)
 }

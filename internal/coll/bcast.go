@@ -1,0 +1,133 @@
+package coll
+
+// Broadcast algorithms: the paper's cluster linear succession, MPICH's
+// binomial tree, the segmented pipeline for bulk payloads, and the Meiko
+// hardware broadcast.
+
+func init() {
+	register("bcast", &Alg{
+		Name:   "binomial",
+		Rounds: func(h Hint) int { return log2Ceil(h.Ranks) },
+		Run:    func(c Comm, a Args) error { return bcastBinomial(c, a.Root, a.Buf) },
+	})
+	register("bcast", &Alg{
+		Name:   "linear",
+		Rounds: func(h Hint) int { return h.Ranks - 1 },
+		Run:    func(c Comm, a Args) error { return bcastLinear(c, a.Root, a.Buf) },
+	})
+	register("bcast", &Alg{
+		Name: "pipelined",
+		Rounds: func(h Hint) int {
+			nseg := (h.Bytes + bcastSegment - 1) / bcastSegment
+			if nseg == 0 {
+				nseg = 1
+			}
+			return nseg + h.Ranks - 2
+		},
+		Run: func(c Comm, a Args) error { return bcastPipelined(c, a.Root, a.Buf) },
+	})
+	register("bcast", &Alg{
+		Name:    "hardware",
+		NeedsHW: true,
+		Rounds:  func(h Hint) int { return 1 },
+		Run:     func(c Comm, a Args) error { return c.HWBcast(a.Root, a.Buf) },
+	})
+}
+
+// bcastLinear is the paper's cluster broadcast: a succession of
+// point-to-point messages from the root.
+func bcastLinear(c Comm, root int, buf []byte) error {
+	if c.Rank() != root {
+		return c.Recv(root, tagBcast, buf)
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := c.Send(r, tagBcast, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastBinomial is MPICH's tree broadcast over point-to-point messages:
+// each rank receives from the parent at its lowest set bit (in
+// root-relative numbering), then forwards down each lower bit.
+func bcastBinomial(c Comm, root int, buf []byte) error {
+	p := c.Size()
+	rel := (c.Rank() - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			parent := ((rel - mask) + root) % p
+			if err := c.Recv(parent, tagBcast, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := rel + mask; child < p {
+			if err := c.Send((child+root)%p, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bcastSegment is the pipeline stage size for the pipelined broadcast.
+const bcastSegment = 8 * 1024
+
+// bcastPipelined streams buf through the chain root, root+1, ..., in
+// bcastSegment-sized pieces: while rank r forwards segment k, rank r-1 is
+// already sending it segment k+1. Completion latency approaches one
+// traversal plus one full payload time, instead of log2(P) payload times.
+func bcastPipelined(c Comm, root int, buf []byte) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	me := c.Rank()
+	rel := (me - root + p) % p
+	prev := (me - 1 + p) % p
+	next := (me + 1) % p
+	last := rel == p-1
+
+	nseg := (len(buf) + bcastSegment - 1) / bcastSegment
+	if nseg == 0 {
+		nseg = 1
+	}
+	var fwd Req
+	for k := 0; k < nseg; k++ {
+		lo := k * bcastSegment
+		hi := lo + bcastSegment
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		seg := buf[lo:hi]
+		if rel != 0 {
+			if err := c.Recv(prev, tagBcast, seg); err != nil {
+				return err
+			}
+		}
+		if !last {
+			if fwd != nil {
+				if err := c.Wait(fwd); err != nil {
+					return err
+				}
+			}
+			r, err := c.Isend(next, tagBcast, seg)
+			if err != nil {
+				return err
+			}
+			fwd = r
+		}
+	}
+	if fwd != nil {
+		return c.Wait(fwd)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package coll
+
+// Reduction algorithms. Every one preserves MPI's canonical evaluation
+// order — the combination is always op over contiguous rank ranges with
+// the lower range on the left — so non-commutative (but associative)
+// operators give the same answer as a sequential rank-order fold. The
+// conformance suite pins this with a non-commutative operator.
+
+func init() {
+	register("reduce", &Alg{
+		Name:   "binomial",
+		Rounds: func(h Hint) int { return log2Ceil(h.Ranks) },
+		Run: func(c Comm, a Args) error {
+			acc := a.Recv
+			if c.Rank() != a.Root || len(acc) < len(a.Send) {
+				// recv is significant only at the root; everyone else
+				// accumulates in a scratch buffer.
+				acc = make([]byte, len(a.Send))
+			}
+			return reduceTree(c, a.Root, a.Op, a.Send, acc)
+		},
+	})
+	register("allreduce", &Alg{
+		Name:   "reduce-bcast",
+		Rounds: func(h Hint) int { return 2 * log2Ceil(h.Ranks) },
+		Run: func(c Comm, a Args) error {
+			// The small-message path: every rank accumulates directly in
+			// its receive buffer (the broadcast overwrites it anyway), so
+			// there is no temporary allocation and no post-reduce copy.
+			if err := reduceTree(c, 0, a.Op, a.Send, a.Recv); err != nil {
+				return err
+			}
+			return Run(c, a.Tune, "bcast", len(a.Recv), Args{Root: 0, Buf: a.Recv})
+		},
+	})
+	register("allreduce", &Alg{
+		Name:     "rdbl",
+		Pow2Only: true,
+		Rounds:   func(h Hint) int { return log2Ceil(h.Ranks) },
+		Run:      func(c Comm, a Args) error { return allreduceRdbl(c, a.Op, a.Send, a.Recv) },
+	})
+	register("allreduce", &Alg{
+		Name:      "rsag",
+		Pow2Only:  true,
+		NeedsElem: true,
+		Rounds:    func(h Hint) int { return 2 * log2Ceil(h.Ranks) },
+		Run:       func(c Comm, a Args) error { return allreduceRsag(c, a.Op, a.Elem, a.Send, a.Recv) },
+	})
+	register("reducescatter", &Alg{
+		Name:   "reduce-scatterv",
+		Rounds: func(h Hint) int { return log2Ceil(h.Ranks) + h.Ranks - 1 },
+		Run: func(c Comm, a Args) error {
+			var full []byte
+			if c.Rank() == 0 {
+				full = make([]byte, len(a.Send))
+			}
+			if err := Run(c, a.Tune, "reduce", len(a.Send), Args{Root: 0, Op: a.Op, Send: a.Send, Recv: full}); err != nil {
+				return err
+			}
+			return Run(c, a.Tune, "scatterv", len(a.Recv), Args{Root: 0, Send: full, Counts: a.Counts, Recv: a.Recv})
+		},
+	})
+	register("scan", &Alg{
+		Name:   "linear",
+		Rounds: func(h Hint) int { return h.Ranks - 1 },
+		Run:    func(c Comm, a Args) error { return scanLinear(c, a.Op, a.Send, a.Recv) },
+	})
+	register("exscan", &Alg{
+		Name:   "linear",
+		Rounds: func(h Hint) int { return h.Ranks - 1 },
+		Run:    func(c Comm, a Args) error { return exscanLinear(c, a.Op, a.Send, a.Recv) },
+	})
+}
+
+// reduceTree is the binomial fan-in: each rank folds its children's
+// contiguous higher-rank ranges into acc (acc = acc ∘ child), then sends
+// acc to its parent. acc must have len(send) bytes; the result lands in
+// the root's acc.
+func reduceTree(c Comm, root int, op func(dst, src []byte), send, acc []byte) error {
+	p := c.Size()
+	rel := (c.Rank() - root + p) % p
+	copy(acc, send)
+	var in []byte
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := ((rel &^ mask) + root) % p
+			return c.Send(parent, tagReduce, acc[:len(send)])
+		}
+		if src := rel | mask; src < p {
+			if in == nil {
+				in = make([]byte, len(send))
+			}
+			if err := c.Recv((src+root)%p, tagReduce, in); err != nil {
+				return err
+			}
+			op(acc, in)
+		}
+	}
+	return nil
+}
+
+// allreduceRdbl is recursive doubling: in round k every rank exchanges its
+// accumulator with rank^2^k and folds, keeping the lower rank range on the
+// left (partner below us: acc = partner ∘ acc). log2 P rounds of full
+// payload — latency-optimal. Power-of-two communicators only.
+func allreduceRdbl(c Comm, op func(dst, src []byte), send, recv []byte) error {
+	p := c.Size()
+	me := c.Rank()
+	copy(recv, send)
+	acc := recv[:len(send)]
+	in := make([]byte, len(send))
+	for mask := 1; mask < p; mask <<= 1 {
+		partner := me ^ mask
+		if err := sendrecv(c, partner, acc, partner, in, tagReduce); err != nil {
+			return err
+		}
+		if partner < me {
+			// in holds the lower rank range: acc = in ∘ acc.
+			op(in, acc)
+			copy(acc, in)
+		} else {
+			op(acc, in)
+		}
+	}
+	return nil
+}
+
+// allreduceRsag is Rabenseifner's reduce-scatter + allgather: recursive
+// vector halving with distance doubling reduces each rank's block, then
+// the allgather phase reverses the exchanges to rebuild the full vector.
+// Bandwidth-optimal (each rank moves ~2·(P-1)/P of the payload instead of
+// log2 P full payloads). Splits only at elem-byte boundaries, so it needs
+// a declared element size; power-of-two communicators only.
+func allreduceRsag(c Comm, op func(dst, src []byte), elem int, send, recv []byte) error {
+	p := c.Size()
+	me := c.Rank()
+	copy(recv, send)
+	if p == 1 {
+		return nil
+	}
+	count := len(send) / elem
+	acc := recv[:len(send)]
+	scratch := make([]byte, (count/2+1)*elem)
+
+	// Reduce-scatter phase: nearest partner first (distance doubling) with
+	// recursive vector halving. After the round at distance m my kept range
+	// holds the rank-ordered fold of my aligned 2m-rank block: partners
+	// differ only in bit m, so their kept-range histories are identical
+	// (mirror halves of the same range), and the partner with bit m clear
+	// covers the adjacent lower block. Pairing at distance p/2 first — the
+	// textbook halving order — would fold {0,2} then {1,3}: non-contiguous,
+	// wrong for non-commutative operators.
+	type step struct{ partner, kLo, kHi, sLo, sHi int }
+	var steps []step
+	lo, hi := 0, count // element range I still own
+	for mask := 1; mask < p; mask <<= 1 {
+		mid := lo + (hi-lo)/2
+		lower := me&mask == 0
+		var st step
+		if lower {
+			st = step{partner: me | mask, kLo: lo, kHi: mid, sLo: mid, sHi: hi}
+		} else {
+			st = step{partner: me &^ mask, kLo: mid, kHi: hi, sLo: lo, sHi: mid}
+		}
+		in := scratch[:(st.kHi-st.kLo)*elem]
+		if err := sendrecv(c, st.partner, acc[st.sLo*elem:st.sHi*elem], st.partner, in, tagReduce); err != nil {
+			return err
+		}
+		kept := acc[st.kLo*elem : st.kHi*elem]
+		if lower {
+			// Partner folds the higher block: kept = kept ∘ in.
+			op(kept, in)
+		} else {
+			// Partner folds the lower block: kept = in ∘ kept.
+			op(in, kept)
+			copy(kept, in)
+		}
+		steps = append(steps, st)
+		lo, hi = st.kLo, st.kHi
+	}
+
+	// Allgather phase: replay the exchanges in reverse. At the replay of
+	// step i my fully-reduced range is exactly the range I kept then, and
+	// the partner holds its mirror — the range I sent — so one exchange
+	// rebuilds the step's whole block.
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if err := sendrecv(c, st.partner, acc[st.kLo*elem:st.kHi*elem], st.partner, acc[st.sLo*elem:st.sHi*elem], tagReduce); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanLinear computes the inclusive prefix along the rank chain: rank r
+// receives prefix(0..r-1), folds its own contribution, and forwards.
+func scanLinear(c Comm, op func(dst, src []byte), send, recv []byte) error {
+	copy(recv, send)
+	out := recv[:len(send)]
+	if c.Rank() > 0 {
+		in := make([]byte, len(send))
+		if err := c.Recv(c.Rank()-1, tagScan, in); err != nil {
+			return err
+		}
+		// out = prefix(0..r-1) ∘ send.
+		copy(out, in)
+		op(out, send)
+	}
+	if c.Rank() < c.Size()-1 {
+		return c.Send(c.Rank()+1, tagScan, out)
+	}
+	return nil
+}
+
+// exscanLinear computes the exclusive prefix: rank r receives
+// prefix(0..r-1); rank 0's recv is left untouched.
+func exscanLinear(c Comm, op func(dst, src []byte), send, recv []byte) error {
+	incl := make([]byte, len(send))
+	if c.Rank() > 0 {
+		if err := c.Recv(c.Rank()-1, tagScan, incl); err != nil {
+			return err
+		}
+		copy(recv, incl)
+	}
+	if c.Rank() < c.Size()-1 {
+		out := make([]byte, len(send))
+		if c.Rank() == 0 {
+			copy(out, send)
+		} else {
+			copy(out, incl)
+			op(out, send)
+		}
+		return c.Send(c.Rank()+1, tagScan, out)
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/coll"
+	"repro/mpi"
+)
+
+// The collective matrix: every registered algorithm of every collective
+// operation, forced through the tuning layer and verified against locally
+// computed expectations. Reductions use a non-commutative (but
+// associative) operator — 2x2 matrix multiplication over Z/2^16 — so any
+// algorithm that reorders combining, instead of folding contiguous rank
+// ranges lower-side-left, produces a wrong product and fails loudly.
+
+// matLane is the packed byte width of one 2x2 uint16 matrix.
+const matLane = 8
+
+func matPut(buf []byte, m [4]uint16) {
+	for i, v := range m {
+		buf[2*i] = byte(v)
+		buf[2*i+1] = byte(v >> 8)
+	}
+}
+
+func matGet(buf []byte) (m [4]uint16) {
+	for i := range m {
+		m[i] = uint16(buf[2*i]) | uint16(buf[2*i+1])<<8
+	}
+	return m
+}
+
+// matMul is the row-by-column product a*b (left operand first: the order
+// the reduction tree must preserve).
+func matMul(a, b [4]uint16) [4]uint16 {
+	return [4]uint16{
+		a[0]*b[0] + a[1]*b[2], a[0]*b[1] + a[1]*b[3],
+		a[2]*b[0] + a[3]*b[2], a[2]*b[1] + a[3]*b[3],
+	}
+}
+
+// matOp is the mpi.Op: per-lane dst = dst * src.
+func matOp(dst, src []byte) {
+	for off := 0; off+matLane <= len(dst); off += matLane {
+		matPut(dst[off:], matMul(matGet(dst[off:]), matGet(src[off:])))
+	}
+}
+
+// rankMat is rank r's matrix for lane l — distinct per rank and chosen so
+// products in different orders disagree (verified by TestMatOpNonCommutative).
+func rankMat(r, l int) [4]uint16 {
+	return [4]uint16{1, uint16(r + l + 1), uint16(2*r + l + 3), uint16(l + 2)}
+}
+
+// matVec packs rank r's matrices for lanes lanes.
+func matVec(r, lanes int) []byte {
+	buf := make([]byte, lanes*matLane)
+	for l := 0; l < lanes; l++ {
+		matPut(buf[l*matLane:], rankMat(r, l))
+	}
+	return buf
+}
+
+// matFold is the rank-ordered product over ranks lo..hi (inclusive) for
+// lane l — the answer every conforming reduction must produce.
+func matFold(lo, hi, l int) [4]uint16 {
+	acc := rankMat(lo, l)
+	for r := lo + 1; r <= hi; r++ {
+		acc = matMul(acc, rankMat(r, l))
+	}
+	return acc
+}
+
+func matCheck(got []byte, lo, hi int, what string) error {
+	for l := 0; l*matLane < len(got); l++ {
+		want := make([]byte, matLane)
+		matPut(want, matFold(lo, hi, l))
+		if !bytes.Equal(got[l*matLane:(l+1)*matLane], want) {
+			return fmt.Errorf("%s: lane %d: reduction order broken (ranks %d..%d)", what, l, lo, hi)
+		}
+	}
+	return nil
+}
+
+// collSizes spans eager and rendezvous payloads on every platform,
+// including one beyond the cluster's 64 KB TCP window (the symmetric
+// large-payload exchange that once deadlocked socket MPIs).
+var collSizes = []int{16, 1 << 10, 70_000}
+
+// collVerifiers maps operation name -> a body that runs the operation and
+// verifies the result against locally computed expectations.
+var collVerifiers = map[string]func(c *mpi.Comm) error{
+	"bcast": func(c *mpi.Comm) error {
+		root := 1 % c.Size()
+		for i, size := range collSizes {
+			buf := make([]byte, size)
+			if c.Rank() == root {
+				fill(buf, root, 0, i)
+			}
+			if err := c.Bcast(root, buf); err != nil {
+				return err
+			}
+			if err := check(buf, root, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"barrier": func(c *mpi.Comm) error {
+		for i := 0; i < 3; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"gather": func(c *mpi.Comm) error {
+		for i, size := range collSizes {
+			send := make([]byte, size)
+			fill(send, c.Rank(), 0, i)
+			recv := make([]byte, size*c.Size())
+			if err := c.Gather(0, send, recv); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for r := 0; r < c.Size(); r++ {
+					if err := check(recv[r*size:(r+1)*size], r, 0, i); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	},
+	"gatherv": func(c *mpi.Comm) error {
+		counts := make([]int, c.Size())
+		off := make([]int, c.Size())
+		total := 0
+		for r := range counts {
+			counts[r] = 100*r + 1
+			off[r] = total
+			total += counts[r]
+		}
+		send := make([]byte, counts[c.Rank()])
+		fill(send, c.Rank(), 1, 0)
+		recv := make([]byte, total)
+		if err := c.Gatherv(0, send, recv, counts); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := range counts {
+				if err := check(recv[off[r]:off[r]+counts[r]], r, 1, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	"scatter": func(c *mpi.Comm) error {
+		for i, size := range collSizes {
+			var send []byte
+			if c.Rank() == 0 {
+				send = make([]byte, size*c.Size())
+				for r := 0; r < c.Size(); r++ {
+					fill(send[r*size:(r+1)*size], 0, r, i)
+				}
+			}
+			recv := make([]byte, size)
+			if err := c.Scatter(0, send, recv); err != nil {
+				return err
+			}
+			if err := check(recv, 0, c.Rank(), i); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"scatterv": func(c *mpi.Comm) error {
+		counts := make([]int, c.Size())
+		total := 0
+		for r := range counts {
+			counts[r] = 64*r + 9
+			total += counts[r]
+		}
+		var send []byte
+		if c.Rank() == 0 {
+			send = make([]byte, total)
+			off := 0
+			for r := range counts {
+				fill(send[off:off+counts[r]], 0, r, 2)
+				off += counts[r]
+			}
+		}
+		recv := make([]byte, counts[c.Rank()])
+		if err := c.Scatterv(0, send, counts, recv); err != nil {
+			return err
+		}
+		return check(recv, 0, c.Rank(), 2)
+	},
+	"allgather": func(c *mpi.Comm) error {
+		for i, size := range collSizes {
+			send := make([]byte, size)
+			fill(send, c.Rank(), 2, i)
+			recv := make([]byte, size*c.Size())
+			if err := c.Allgather(send, recv); err != nil {
+				return err
+			}
+			for r := 0; r < c.Size(); r++ {
+				if err := check(recv[r*size:(r+1)*size], r, 2, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	"allgatherv": func(c *mpi.Comm) error {
+		counts := make([]int, c.Size())
+		off := make([]int, c.Size())
+		total := 0
+		for r := range counts {
+			counts[r] = 200*r + 7
+			off[r] = total
+			total += counts[r]
+		}
+		send := make([]byte, counts[c.Rank()])
+		fill(send, c.Rank(), 3, 0)
+		recv := make([]byte, total)
+		if err := c.Allgatherv(send, recv, counts); err != nil {
+			return err
+		}
+		for r := range counts {
+			if err := check(recv[off[r]:off[r]+counts[r]], r, 3, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"reduce": func(c *mpi.Comm) error {
+		for _, lanes := range []int{1, c.Size() + 3, 9000} {
+			send := matVec(c.Rank(), lanes)
+			recv := make([]byte, len(send))
+			if err := c.Reduce(0, matOp, send, recv); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if err := matCheck(recv, 0, c.Size()-1, "reduce"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	"allreduce": func(c *mpi.Comm) error {
+		for _, lanes := range []int{c.Size(), c.Size() + 3, 9000} {
+			send := matVec(c.Rank(), lanes)
+			recv := make([]byte, len(send))
+			if err := c.AllreduceElem(matOp, matLane, send, recv); err != nil {
+				return err
+			}
+			if err := matCheck(recv, 0, c.Size()-1, "allreduce"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	"scan": func(c *mpi.Comm) error {
+		send := matVec(c.Rank(), 5)
+		recv := make([]byte, len(send))
+		if err := c.Scan(matOp, send, recv); err != nil {
+			return err
+		}
+		return matCheck(recv, 0, c.Rank(), "scan")
+	},
+	"exscan": func(c *mpi.Comm) error {
+		send := matVec(c.Rank(), 5)
+		recv := make([]byte, len(send))
+		if err := c.Exscan(matOp, send, recv); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return nil // rank 0's exscan result is undefined
+		}
+		return matCheck(recv, 0, c.Rank()-1, "exscan")
+	},
+	"reducescatter": func(c *mpi.Comm) error {
+		n := c.Size()
+		counts := make([]int, n)
+		for r := range counts {
+			counts[r] = matLane // one lane per rank
+		}
+		send := matVec(c.Rank(), n)
+		recv := make([]byte, matLane)
+		if err := c.ReduceScatter(matOp, send, recv, counts); err != nil {
+			return err
+		}
+		want := make([]byte, matLane)
+		matPut(want, matFold(0, n-1, c.Rank()))
+		if !bytes.Equal(recv, want) {
+			return fmt.Errorf("reducescatter: rank %d's lane has broken reduction order", c.Rank())
+		}
+		return nil
+	},
+	"alltoall": func(c *mpi.Comm) error {
+		n := c.Size()
+		for i, size := range []int{16, 70_000} {
+			send := make([]byte, size*n)
+			for d := 0; d < n; d++ {
+				fill(send[d*size:(d+1)*size], c.Rank(), d, i)
+			}
+			recv := make([]byte, size*n)
+			if err := c.Alltoall(send, recv); err != nil {
+				return err
+			}
+			for s := 0; s < n; s++ {
+				if err := check(recv[s*size:(s+1)*size], s, c.Rank(), i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	"alltoallv": func(c *mpi.Comm) error {
+		n := c.Size()
+		// Rank s sends 10*(s+d)+1 bytes to rank d: every pair distinct.
+		cnt := func(s, d int) int { return 10*(s+d) + 1 }
+		scounts := make([]int, n)
+		sdispls := make([]int, n)
+		rcounts := make([]int, n)
+		rdispls := make([]int, n)
+		stot, rtot := 0, 0
+		for d := 0; d < n; d++ {
+			scounts[d], sdispls[d] = cnt(c.Rank(), d), stot
+			stot += scounts[d]
+			rcounts[d], rdispls[d] = cnt(d, c.Rank()), rtot
+			rtot += rcounts[d]
+		}
+		send := make([]byte, stot)
+		for d := 0; d < n; d++ {
+			fill(send[sdispls[d]:sdispls[d]+scounts[d]], c.Rank(), d, 4)
+		}
+		recv := make([]byte, rtot)
+		if err := c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		for s := 0; s < n; s++ {
+			if err := check(recv[rdispls[s]:rdispls[s]+rcounts[s]], s, c.Rank(), 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+}
+
+// CollectiveMatrix runs every registered algorithm of every collective on
+// worlds from f at the given rank count, forcing each through the tuning
+// layer and verifying results. Algorithms inapplicable to the backend or
+// rank count (hardware broadcast without the hardware, power-of-two
+// algorithms on odd communicators) are skipped — by the same "not
+// applicable" error a user forcing them would see.
+func CollectiveMatrix(f Factory, ranks int) error {
+	for _, op := range coll.Ops() {
+		body := collVerifiers[op]
+		if body == nil {
+			return fmt.Errorf("collective matrix: no verifier for registered op %q", op)
+		}
+		for _, alg := range coll.Names(op) {
+			w := f(ranks)
+			w.Tune = coll.Tuning{op: alg}
+			_, err := mpi.Launch(w, func(c *mpi.Comm) error { return body(c) })
+			if err != nil && strings.Contains(err.Error(), "not applicable") {
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("%s/%s at %d ranks: %w", op, alg, ranks, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -84,6 +85,60 @@ func TestMeikoFatTree(t *testing.T) {
 	spec := registry.Spec{Platform: "meiko", FatTree: true}
 	if err := Run(factory(t, spec), seeds[:2]); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCollectiveMatrix forces every registered algorithm of every
+// collective through the tuning layer on every backend, at a power-of-two
+// and an odd rank count (the odd pass exercises the "not applicable" skip
+// for power-of-two-only algorithms). Reductions run a non-commutative
+// matrix product, so an algorithm that combines ranks out of order fails.
+func TestCollectiveMatrix(t *testing.T) {
+	if a, b := rankMat(0, 0), rankMat(1, 0); matMul(a, b) == matMul(b, a) {
+		t.Fatal("rank matrices commute; the reduction-order check is vacuous")
+	}
+	backends := registry.Names()
+	if testing.Short() {
+		backends = []string{"mem", "meiko/lowlatency", "cluster/tcp"}
+	}
+	for _, name := range backends {
+		spec := registry.SpecFor(name)
+		for _, ranks := range []int{4, 5} {
+			t.Run(fmt.Sprintf("%s_%dranks", strings.ReplaceAll(name, "/", "_"), ranks), func(t *testing.T) {
+				if err := CollectiveMatrix(factory(t, spec), ranks); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAutoSelection pins the end-to-end selector wiring: with no tuning
+// forced, the algorithm the accounting layer records must track payload
+// size and platform capability (hardware broadcast on the Meiko, software
+// trees on the cluster).
+func TestAutoSelection(t *testing.T) {
+	cases := []struct {
+		backend string
+		bytes   int
+		want    string
+	}{
+		{"meiko/lowlatency", 1 << 10, "coll.bcast.hardware"},
+		{"meiko/lowlatency", 128 << 10, "coll.bcast.pipelined"},
+		{"cluster/tcp", 1 << 10, "coll.bcast.binomial"},
+		{"cluster/tcp", 128 << 10, "coll.bcast.pipelined"},
+	}
+	for _, tc := range cases {
+		f := factory(t, registry.SpecFor(tc.backend))
+		rep, err := mpi.Launch(f(4), func(c *mpi.Comm) error {
+			return c.Bcast(0, make([]byte, tc.bytes))
+		})
+		if err != nil {
+			t.Fatalf("%s %dB bcast: %v", tc.backend, tc.bytes, err)
+		}
+		if rep.Acct.Count[tc.want] == 0 {
+			t.Errorf("%s %dB bcast: %s not booked; counters: %v", tc.backend, tc.bytes, tc.want, rep.Acct.Count)
+		}
 	}
 }
 

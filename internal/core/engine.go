@@ -54,6 +54,9 @@ type Engine struct {
 // SetTrace attaches a timeline log (the profiling interface).
 func (e *Engine) SetTrace(l *trace.Log) { e.Trace = l }
 
+// TraceLog returns the attached timeline log (nil when tracing is off).
+func (e *Engine) TraceLog() *trace.Log { return e.Trace }
+
 // trc records an event if tracing is enabled.
 func (e *Engine) trc(kind trace.Kind, peer, tag, bytes int, note string) {
 	if e.Trace == nil {

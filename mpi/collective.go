@@ -1,49 +1,99 @@
 package mpi
 
 import (
+	"repro/internal/coll"
 	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
-// Collective-context tags (one per operation type, for readable traces;
-// correctness comes from the dedicated collective context and MPI's
-// non-overtaking order).
-const (
-	tagBcast = iota + 1
-	tagBarrier
-	tagGather
-	tagScatter
-	tagReduce
-	tagScan
-	tagAlltoall
-	tagCommMgmt
-)
+// Collectives route through the algorithm layer (internal/coll): each call
+// resolves to a registered algorithm — forced by World.Tune / the legacy
+// Bcast knob, or auto-selected by message size, communicator size, and
+// platform capability — and the layer books per-algorithm rounds/bytes
+// into the rank's cost account and trace timeline.
 
-// csend/crecv run point-to-point traffic on the communicator's collective
-// context, keeping collectives isolated from user tags.
-func (c *Comm) csend(dst, tag int, data []byte) error {
-	wr, err := c.worldRank(dst)
+// collComm adapts a communicator to the algorithm layer's narrow
+// interface: rank-addressed point-to-point traffic on the communicator's
+// collective context (ctx+1), keeping collectives isolated from user tags.
+type collComm struct{ c *Comm }
+
+func (k collComm) Rank() int { return k.c.rank }
+func (k collComm) Size() int { return len(k.c.group) }
+
+func (k collComm) Send(dst, tag int, data []byte) error {
+	r, err := k.Isend(dst, tag, data)
 	if err != nil {
 		return err
 	}
-	req, err := c.ep.Isend(c.p, wr, tag, c.ctx+1, core.ModeStandard, data)
+	return k.Wait(r)
+}
+
+func (k collComm) Recv(src, tag int, buf []byte) error {
+	r, err := k.Irecv(src, tag, buf)
 	if err != nil {
 		return err
 	}
-	_, err = c.ep.Wait(c.p, req)
+	return k.Wait(r)
+}
+
+func (k collComm) Isend(dst, tag int, data []byte) (coll.Req, error) {
+	wr, err := k.c.worldRank(dst)
+	if err != nil {
+		return nil, err
+	}
+	return k.c.ep.Isend(k.c.p, wr, tag, k.c.ctx+1, core.ModeStandard, data)
+}
+
+func (k collComm) Irecv(src, tag int, buf []byte) (coll.Req, error) {
+	wr, err := k.c.worldRank(src)
+	if err != nil {
+		return nil, err
+	}
+	return k.c.ep.Irecv(k.c.p, wr, tag, k.c.ctx+1, buf)
+}
+
+func (k collComm) Wait(r coll.Req) error {
+	_, err := k.c.ep.Wait(k.c.p, r.(*core.Request))
 	return err
 }
 
-func (c *Comm) crecv(src, tag int, buf []byte) (Status, error) {
-	wr, err := c.worldRank(src)
-	if err != nil {
-		return Status{}, err
+func (k collComm) HasHW() bool {
+	_, ok := k.c.ep.(core.HWBcaster)
+	return ok && k.c.isWorld()
+}
+
+func (k collComm) HWBcast(root int, buf []byte) error {
+	hb, ok := k.c.ep.(core.HWBcaster)
+	if !ok {
+		return core.Errorf(core.ErrInternal, "hardware broadcast on a device without one")
 	}
-	req, err := c.ep.Irecv(c.p, wr, tag, c.ctx+1, buf)
-	if err != nil {
-		return Status{}, err
+	if !k.c.isWorld() {
+		return core.Errorf(core.ErrInternal, "hardware broadcast requires the world communicator")
 	}
-	st, err := c.ep.Wait(c.p, req)
-	return c.fixStatus(st), err
+	wr, err := k.c.worldRank(root)
+	if err != nil {
+		return err
+	}
+	return hb.HWBcast(k.c.p, wr, k.c.ctx+1, buf)
+}
+
+func (k collComm) Acct() *core.Acct { return k.c.ep.Acct() }
+
+func (k collComm) TraceLog() *trace.Log {
+	if t, ok := k.c.ep.(interface{ TraceLog() *trace.Log }); ok {
+		return t.TraceLog()
+	}
+	return nil
+}
+
+func (k collComm) WorldRank() int { return k.c.ep.Rank() }
+func (k collComm) Now() sim.Time  { return k.c.p.Now() }
+
+// runColl dispatches one collective call through the algorithm layer
+// under this communicator's tuning.
+func (c *Comm) runColl(op string, bytes int, a coll.Args) error {
+	return coll.Run(collComm{c}, c.tune, op, bytes, a)
 }
 
 // isWorld reports whether the communicator spans the full world in rank
@@ -60,238 +110,119 @@ func (c *Comm) isWorld() bool {
 	return true
 }
 
+// ---- argument validation ---------------------------------------------
+//
+// The checks below turn malformed buffers into proper MPI errors
+// (truncation-style) instead of out-of-range panics inside an algorithm.
+
+// uniformCounts builds the per-rank count slice of the fixed-size
+// collectives.
+func uniformCounts(p, n int) []int {
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = n
+	}
+	return counts
+}
+
+// checkCounts validates a per-rank count slice.
+func checkCounts(op string, p int, counts []int) error {
+	if len(counts) != p {
+		return core.Errorf(core.ErrInternal, "%s: %d counts for communicator of size %d", op, len(counts), p)
+	}
+	for i, n := range counts {
+		if n < 0 {
+			return core.Errorf(core.ErrInternal, "%s: negative count %d for rank %d", op, n, i)
+		}
+	}
+	return nil
+}
+
+func sum(counts []int) int {
+	t := 0
+	for _, n := range counts {
+		t += n
+	}
+	return t
+}
+
 // Bcast broadcasts buf from root to every rank of the communicator
-// (MPI_Bcast); buf is input at the root and output elsewhere. The
-// algorithm follows the world's Bcast setting.
+// (MPI_Bcast); buf is input at the root and output elsewhere.
 func (c *Comm) Bcast(root int, buf []byte) error {
-	alg := c.w.Bcast
-	hb, hasHW := c.ep.(core.HWBcaster)
-	switch alg {
-	case BcastHardware:
-		if !hasHW {
-			return core.Errorf(core.ErrInternal, "BcastHardware on a device without hardware broadcast")
-		}
-		if !c.isWorld() {
-			return core.Errorf(core.ErrInternal, "hardware broadcast requires the world communicator")
-		}
-		wr, _ := c.worldRank(root)
-		return hb.HWBcast(c.p, wr, c.ctx+1, buf)
-	case BcastAuto:
-		if hasHW && c.isWorld() {
-			wr, _ := c.worldRank(root)
-			return hb.HWBcast(c.p, wr, c.ctx+1, buf)
-		}
-		return c.bcastBinomial(root, buf)
-	case BcastLinear:
-		return c.bcastLinear(root, buf)
-	case BcastPipelined:
-		return c.bcastPipelined(root, buf)
-	default:
-		return c.bcastBinomial(root, buf)
-	}
-}
-
-// bcastSegment is the pipeline stage size for BcastPipelined.
-const bcastSegment = 8 * 1024
-
-// bcastPipelined streams buf through the chain root, root+1, ..., in
-// bcastSegment-sized pieces: while rank r forwards segment k, rank r-1 is
-// already sending it segment k+1. Completion latency approaches one
-// traversal plus one full payload time, instead of log2(P) payload times.
-func (c *Comm) bcastPipelined(root int, buf []byte) error {
-	p := c.Size()
-	if p == 1 {
-		return nil
-	}
-	rel := (c.rank - root + p) % p
-	prev := (c.rank - 1 + p) % p
-	next := (c.rank + 1) % p
-	last := rel == p-1
-
-	nseg := (len(buf) + bcastSegment - 1) / bcastSegment
-	if nseg == 0 {
-		nseg = 1
-	}
-	var fwd *Request
-	for k := 0; k < nseg; k++ {
-		lo := k * bcastSegment
-		hi := lo + bcastSegment
-		if hi > len(buf) {
-			hi = len(buf)
-		}
-		seg := buf[lo:hi]
-		if rel != 0 {
-			if _, err := c.crecv(prev, tagBcast, seg); err != nil {
-				return err
-			}
-		}
-		if !last {
-			if fwd != nil {
-				if _, err := c.ep.Wait(c.p, fwd.req); err != nil {
-					return err
-				}
-			}
-			wr, err := c.worldRank(next)
-			if err != nil {
-				return err
-			}
-			req, err := c.ep.Isend(c.p, wr, tagBcast, c.ctx+1, core.ModeStandard, seg)
-			if err != nil {
-				return err
-			}
-			fwd = &Request{c: c, req: req}
-		}
-	}
-	if fwd != nil {
-		if _, err := fwd.Wait(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// bcastLinear is the paper's cluster broadcast: a succession of
-// point-to-point messages from the root.
-func (c *Comm) bcastLinear(root int, buf []byte) error {
-	if c.rank == root {
-		for r := 0; r < c.Size(); r++ {
-			if r == root {
-				continue
-			}
-			if err := c.csend(r, tagBcast, buf); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	_, err := c.crecv(root, tagBcast, buf)
-	return err
-}
-
-// bcastBinomial is MPICH's tree broadcast over point-to-point messages:
-// each rank receives from the parent at its lowest set bit (in root-relative
-// numbering), then forwards down each lower bit.
-func (c *Comm) bcastBinomial(root int, buf []byte) error {
-	p := c.Size()
-	rel := (c.rank - root + p) % p
-	mask := 1
-	for mask < p {
-		if rel&mask != 0 {
-			parent := ((rel - mask) + root) % p
-			if _, err := c.crecv(parent, tagBcast, buf); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
-	}
-	for mask >>= 1; mask > 0; mask >>= 1 {
-		if child := rel + mask; child < p {
-			if err := c.csend((child+root)%p, tagBcast, buf); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return c.runColl("bcast", len(buf), coll.Args{Root: root, Buf: buf})
 }
 
 // Barrier blocks until every rank of the communicator has entered it
-// (MPI_Barrier); dissemination algorithm, log2(P) rounds.
+// (MPI_Barrier).
 func (c *Comm) Barrier() error {
-	p := c.Size()
-	token := []byte{0}
-	in := make([]byte, 1)
-	for k := 1; k < p; k <<= 1 {
-		to := (c.rank + k) % p
-		from := (c.rank - k + p) % p
-		rr, err := c.irecvCtx(from, tagBarrier, in)
-		if err != nil {
-			return err
-		}
-		if err := c.csend(to, tagBarrier, token); err != nil {
-			return err
-		}
-		if _, err := c.ep.Wait(c.p, rr); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (c *Comm) irecvCtx(src, tag int, buf []byte) (*core.Request, error) {
-	wr, err := c.worldRank(src)
-	if err != nil {
-		return nil, err
-	}
-	return c.ep.Irecv(c.p, wr, tag, c.ctx+1, buf)
+	return c.runColl("barrier", 0, coll.Args{})
 }
 
 // Gather collects each rank's n-byte contribution at the root, which
 // receives Size()*n bytes ordered by rank (MPI_Gather). recvBuf is only
 // used at the root.
 func (c *Comm) Gather(root int, send []byte, recvBuf []byte) error {
-	counts := make([]int, c.Size())
-	for i := range counts {
-		counts[i] = len(send)
-	}
-	return c.Gatherv(root, send, recvBuf, counts)
+	return c.gather("Gather", root, send, recvBuf, uniformCounts(c.Size(), len(send)))
 }
 
 // Gatherv is Gather with per-rank counts; recvBuf must hold their sum.
 func (c *Comm) Gatherv(root int, send []byte, recvBuf []byte, counts []int) error {
-	if c.rank != root {
-		return c.csend(root, tagGather, send)
+	return c.gather("Gatherv", root, send, recvBuf, counts)
+}
+
+func (c *Comm) gather(op string, root int, send, recvBuf []byte, counts []int) error {
+	if err := checkCounts(op, c.Size(), counts); err != nil {
+		return err
 	}
-	off := 0
-	for r := 0; r < c.Size(); r++ {
-		if r == root {
-			copy(recvBuf[off:off+counts[r]], send)
-		} else {
-			if _, err := c.crecv(r, tagGather, recvBuf[off:off+counts[r]]); err != nil {
-				return err
-			}
+	if c.rank == root {
+		if need := sum(counts); len(recvBuf) < need {
+			return core.Errorf(core.ErrTruncate, "%s: %d-byte receive buffer truncates %d gathered bytes", op, len(recvBuf), need)
 		}
-		off += counts[r]
 	}
-	return nil
+	name := "gather"
+	if op == "Gatherv" {
+		name = "gatherv"
+	}
+	return c.runColl(name, len(send), coll.Args{Root: root, Send: send, Recv: recvBuf, Counts: counts})
 }
 
 // Scatter distributes Size() slices of n bytes from the root's sendBuf,
 // one per rank (MPI_Scatter); recv receives this rank's slice.
 func (c *Comm) Scatter(root int, sendBuf []byte, recv []byte) error {
-	counts := make([]int, c.Size())
-	for i := range counts {
-		counts[i] = len(recv)
-	}
-	return c.Scatterv(root, sendBuf, counts, recv)
+	return c.scatter("Scatter", root, sendBuf, uniformCounts(c.Size(), len(recv)), recv)
 }
 
 // Scatterv is Scatter with per-rank counts.
 func (c *Comm) Scatterv(root int, sendBuf []byte, counts []int, recv []byte) error {
-	if c.rank != root {
-		_, err := c.crecv(root, tagScatter, recv)
-		return err
-	}
-	off := 0
-	for r := 0; r < c.Size(); r++ {
-		if r == root {
-			copy(recv, sendBuf[off:off+counts[r]])
-		} else {
-			if err := c.csend(r, tagScatter, sendBuf[off:off+counts[r]]); err != nil {
-				return err
-			}
+	return c.scatter("Scatterv", root, sendBuf, counts, recv)
+}
+
+func (c *Comm) scatter(op string, root int, sendBuf []byte, counts []int, recv []byte) error {
+	if c.rank == root {
+		if err := checkCounts(op, c.Size(), counts); err != nil {
+			return err
 		}
-		off += counts[r]
+		if need := sum(counts); len(sendBuf) < need {
+			return core.Errorf(core.ErrTruncate, "%s: %d-byte send buffer short of %d scattered bytes", op, len(sendBuf), need)
+		}
+		if len(recv) < counts[c.rank] {
+			return core.Errorf(core.ErrTruncate, "%s: %d-byte receive buffer truncates rank %d's %d bytes", op, len(recv), c.rank, counts[c.rank])
+		}
 	}
-	return nil
+	name := "scatter"
+	if op == "Scatterv" {
+		name = "scatterv"
+	}
+	return c.runColl(name, len(recv), coll.Args{Root: root, Send: sendBuf, Counts: counts, Recv: recv})
 }
 
 // Allgather gathers every rank's n bytes at every rank (MPI_Allgather).
 func (c *Comm) Allgather(send []byte, recvBuf []byte) error {
-	if err := c.Gather(0, send, recvBuf); err != nil {
-		return err
+	p := c.Size()
+	if need := p * len(send); len(recvBuf) < need {
+		return core.Errorf(core.ErrTruncate, "Allgather: %d-byte receive buffer truncates %d gathered bytes", len(recvBuf), need)
 	}
-	return c.Bcast(0, recvBuf)
+	return c.runColl("allgather", len(send), coll.Args{Send: send, Recv: recvBuf, Counts: uniformCounts(p, len(send))})
 }
 
 // Op combines src into dst elementwise over packed representations
@@ -299,85 +230,54 @@ func (c *Comm) Allgather(send []byte, recvBuf []byte) error {
 type Op func(dst, src []byte)
 
 // Reduce combines each rank's send buffer with op, leaving the result in
-// recv at the root (MPI_Reduce); binomial fan-in tree.
+// recv at the root (MPI_Reduce). Algorithms preserve rank order, so
+// non-commutative (associative) operators reduce deterministically.
 func (c *Comm) Reduce(root int, op Op, send []byte, recv []byte) error {
-	p := c.Size()
-	rel := (c.rank - root + p) % p
-	acc := make([]byte, len(send))
-	copy(acc, send)
-	in := make([]byte, len(send))
-	for mask := 1; mask < p; mask <<= 1 {
-		if rel&mask != 0 {
-			parent := ((rel &^ mask) + root) % p
-			return c.csend(parent, tagReduce, acc)
-		}
-		src := rel | mask
-		if src < p {
-			if _, err := c.crecv((src+root)%p, tagReduce, in); err != nil {
-				return err
-			}
-			op(acc, in)
-		}
+	if c.rank == root && len(recv) < len(send) {
+		return core.Errorf(core.ErrTruncate, "Reduce: %d-byte receive buffer truncates %d-byte reduction", len(recv), len(send))
 	}
-	if c.rank == root {
-		copy(recv, acc)
-	}
-	return nil
+	return c.runColl("reduce", len(send), coll.Args{Root: root, Op: op, Send: send, Recv: recv})
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast (MPI_Allreduce).
+// Allreduce reduces every rank's send buffer and delivers the result
+// everywhere (MPI_Allreduce). The element size is unknown for an opaque
+// byte operator, so vector-splitting algorithms are ruled out; use
+// AllreduceElem (or the typed wrappers) to enable them.
 func (c *Comm) Allreduce(op Op, send []byte, recv []byte) error {
-	tmp := recv
-	if c.rank != 0 {
-		tmp = make([]byte, len(send))
+	return c.AllreduceElem(op, 0, send, recv)
+}
+
+// AllreduceElem is Allreduce with a declared element size in bytes:
+// algorithms that partition the vector (reduce-scatter+allgather) split
+// only at elem-byte boundaries. elem 0 means the buffer is opaque.
+func (c *Comm) AllreduceElem(op Op, elem int, send []byte, recv []byte) error {
+	if len(recv) < len(send) {
+		return core.Errorf(core.ErrTruncate, "Allreduce: %d-byte receive buffer truncates %d-byte reduction", len(recv), len(send))
 	}
-	if err := c.Reduce(0, op, send, tmp); err != nil {
-		return err
+	if elem > 0 && len(send)%elem != 0 {
+		return core.Errorf(core.ErrInternal, "Allreduce: %d-byte buffer not a multiple of %d-byte elements", len(send), elem)
 	}
-	if c.rank == 0 {
-		copy(recv, tmp)
-	}
-	return c.Bcast(0, recv)
+	return c.runColl("allreduce", len(send), coll.Args{Op: op, Elem: elem, Send: send, Recv: recv})
 }
 
 // Scan computes the inclusive prefix reduction: rank r receives the
-// combination of ranks 0..r (MPI_Scan); linear chain.
+// combination of ranks 0..r (MPI_Scan).
 func (c *Comm) Scan(op Op, send []byte, recv []byte) error {
-	copy(recv, send)
-	if c.rank > 0 {
-		in := make([]byte, len(send))
-		if _, err := c.crecv(c.rank-1, tagScan, in); err != nil {
-			return err
-		}
-		// recv = prefix(0..r-1) op send
-		copy(recv, in)
-		op(recv, send)
+	if len(recv) < len(send) {
+		return core.Errorf(core.ErrTruncate, "Scan: %d-byte receive buffer truncates %d-byte reduction", len(recv), len(send))
 	}
-	if c.rank < c.Size()-1 {
-		return c.csend(c.rank+1, tagScan, recv)
-	}
-	return nil
+	return c.runColl("scan", len(send), coll.Args{Op: op, Send: send, Recv: recv})
 }
 
 // Alltoall exchanges n-byte slices between all pairs: rank r's send slice
 // i lands in rank i's recv slice r (MPI_Alltoall). n = len(send)/Size().
 func (c *Comm) Alltoall(send []byte, recvBuf []byte) error {
 	p := c.Size()
-	n := len(send) / p
-	copy(recvBuf[c.rank*n:(c.rank+1)*n], send[c.rank*n:(c.rank+1)*n])
-	for round := 1; round < p; round++ {
-		to := (c.rank + round) % p
-		from := (c.rank - round + p) % p
-		rr, err := c.irecvCtx(from, tagAlltoall, recvBuf[from*n:(from+1)*n])
-		if err != nil {
-			return err
-		}
-		if err := c.csend(to, tagAlltoall, send[to*n:(to+1)*n]); err != nil {
-			return err
-		}
-		if _, err := c.ep.Wait(c.p, rr); err != nil {
-			return err
-		}
+	if p > 0 && len(send)%p != 0 {
+		return core.Errorf(core.ErrTruncate, "Alltoall: %d-byte send buffer not divisible into %d rank slices", len(send), p)
 	}
-	return nil
+	if len(recvBuf) < len(send) {
+		return core.Errorf(core.ErrTruncate, "Alltoall: %d-byte receive buffer truncates %d exchanged bytes", len(recvBuf), len(send))
+	}
+	return c.runColl("alltoall", len(send), coll.Args{Send: send, Recv: recvBuf})
 }

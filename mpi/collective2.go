@@ -3,19 +3,23 @@ package mpi
 import (
 	"time"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 )
 
 // Extended collectives beyond the paper's Bcast: the vector variants and
-// the derived reductions of MPI-1.
+// the derived reductions of MPI-1, all routed through the algorithm layer.
 
 // Allgatherv gathers variable-sized contributions everywhere; counts[i] is
 // rank i's byte count and recvBuf holds their sum, ordered by rank.
 func (c *Comm) Allgatherv(send []byte, recvBuf []byte, counts []int) error {
-	if err := c.Gatherv(0, send, recvBuf, counts); err != nil {
+	if err := checkCounts("Allgatherv", c.Size(), counts); err != nil {
 		return err
 	}
-	return c.Bcast(0, recvBuf)
+	if need := sum(counts); len(recvBuf) < need {
+		return core.Errorf(core.ErrTruncate, "Allgatherv: %d-byte receive buffer truncates %d gathered bytes", len(recvBuf), need)
+	}
+	return c.runColl("allgatherv", len(send), coll.Args{Send: send, Recv: recvBuf, Counts: counts})
 }
 
 // Alltoallv exchanges variable-sized slices: rank r sends
@@ -23,63 +27,59 @@ func (c *Comm) Allgatherv(send []byte, recvBuf []byte, counts []int) error {
 // slice for r at recv[rdispls[i]:rdispls[i]+rcounts[i]].
 func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) error {
 	p := c.Size()
-	copy(recv[rdispls[c.rank]:rdispls[c.rank]+rcounts[c.rank]],
-		send[sdispls[c.rank]:sdispls[c.rank]+scounts[c.rank]])
-	for round := 1; round < p; round++ {
-		to := (c.rank + round) % p
-		from := (c.rank - round + p) % p
-		rr, err := c.irecvCtx(from, tagAlltoall, recv[rdispls[from]:rdispls[from]+rcounts[from]])
-		if err != nil {
+	for _, v := range []struct {
+		name    string
+		counts  []int
+		displs  []int
+		buf     []byte
+		bufName string
+	}{
+		{"send", scounts, sdispls, send, "send"},
+		{"receive", rcounts, rdispls, recv, "receive"},
+	} {
+		if err := checkCounts("Alltoallv", p, v.counts); err != nil {
 			return err
 		}
-		if err := c.csend(to, tagAlltoall, send[sdispls[to]:sdispls[to]+scounts[to]]); err != nil {
-			return err
+		if len(v.displs) != p {
+			return core.Errorf(core.ErrInternal, "Alltoallv: %d %s displacements for communicator of size %d", len(v.displs), v.name, p)
 		}
-		if _, err := c.ep.Wait(c.p, rr); err != nil {
-			return err
+		for i := 0; i < p; i++ {
+			if v.displs[i] < 0 || v.displs[i]+v.counts[i] > len(v.buf) {
+				return core.Errorf(core.ErrTruncate, "Alltoallv: rank %d's slice [%d:%d] outside %d-byte %s buffer",
+					i, v.displs[i], v.displs[i]+v.counts[i], len(v.buf), v.bufName)
+			}
 		}
 	}
-	return nil
+	return c.runColl("alltoallv", sum(scounts), coll.Args{
+		Send: send, SCounts: scounts, SDispls: sdispls,
+		Recv: recv, RCounts: rcounts, RDispls: rdispls,
+	})
 }
 
 // ReduceScatter reduces send elementwise across ranks and scatters the
 // result: rank r receives the slice of counts[r] bytes at offset
 // sum(counts[:r]) (MPI_Reduce_scatter, implemented as reduce + scatterv).
 func (c *Comm) ReduceScatter(op Op, send []byte, recv []byte, counts []int) error {
-	var full []byte
-	if c.rank == 0 {
-		full = make([]byte, len(send))
-	}
-	if err := c.Reduce(0, op, send, full); err != nil {
+	if err := checkCounts("ReduceScatter", c.Size(), counts); err != nil {
 		return err
 	}
-	return c.Scatterv(0, full, counts, recv)
+	if need := sum(counts); need > len(send) {
+		return core.Errorf(core.ErrTruncate, "ReduceScatter: counts total %d bytes but send buffer has %d", need, len(send))
+	}
+	if len(recv) < counts[c.rank] {
+		return core.Errorf(core.ErrTruncate, "ReduceScatter: %d-byte receive buffer truncates rank %d's %d bytes", len(recv), c.rank, counts[c.rank])
+	}
+	return c.runColl("reducescatter", len(send), coll.Args{Op: op, Send: send, Recv: recv, Counts: counts})
 }
 
 // Exscan computes the exclusive prefix reduction: rank r receives the
 // combination of ranks 0..r-1; rank 0's recv is left untouched
 // (MPI_Exscan).
 func (c *Comm) Exscan(op Op, send []byte, recv []byte) error {
-	// Linear chain carrying the inclusive prefix; each rank hands its
-	// predecessor-prefix downstream before folding its own contribution.
-	incl := make([]byte, len(send))
-	if c.rank > 0 {
-		if _, err := c.crecv(c.rank-1, tagScan, incl); err != nil {
-			return err
-		}
-		copy(recv, incl)
+	if c.rank > 0 && len(recv) < len(send) {
+		return core.Errorf(core.ErrTruncate, "Exscan: %d-byte receive buffer truncates %d-byte reduction", len(recv), len(send))
 	}
-	if c.rank < c.Size()-1 {
-		out := make([]byte, len(send))
-		if c.rank == 0 {
-			copy(out, send)
-		} else {
-			copy(out, incl)
-			op(out, send)
-		}
-		return c.csend(c.rank+1, tagScan, out)
-	}
-	return nil
+	return c.runColl("exscan", len(send), coll.Args{Op: op, Send: send, Recv: recv})
 }
 
 // Wtick reports the virtual clock resolution, like MPI_Wtick.

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The collectives must turn malformed buffers into proper MPI errors
+// (truncation-style, like a short point-to-point receive) instead of
+// panicking out of an algorithm's slice arithmetic. Each case runs the bad
+// call on every rank (or on a single-rank communicator for root-side
+// checks, so no peer is left waiting on a rank that errored out early).
+
+func wantCollErr(t *testing.T, ranks int, code core.ErrCode, substr string, body func(c *Comm) error) {
+	t.Helper()
+	_, err := Launch(memWorld(ranks), body)
+	var me *core.Error
+	if !errors.As(err, &me) {
+		t.Fatalf("got %v, want a *core.Error containing %q", err, substr)
+	}
+	if me.Code != code || !strings.Contains(me.Error(), substr) {
+		t.Fatalf("got code=%v %q, want code=%v containing %q", me.Code, me, code, substr)
+	}
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	wantCollErr(t, 2, core.ErrTruncate, "not divisible into 2 rank slices", func(c *Comm) error {
+		return c.Alltoall(make([]byte, 3), make([]byte, 4))
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "receive buffer truncates", func(c *Comm) error {
+		return c.Alltoall(make([]byte, 4), make([]byte, 2))
+	})
+}
+
+func TestGatherValidation(t *testing.T) {
+	wantCollErr(t, 1, core.ErrTruncate, "receive buffer truncates", func(c *Comm) error {
+		return c.Gather(0, make([]byte, 8), make([]byte, 4))
+	})
+	wantCollErr(t, 1, core.ErrInternal, "2 counts for communicator of size 1", func(c *Comm) error {
+		return c.Gatherv(0, make([]byte, 4), make([]byte, 8), []int{4, 4})
+	})
+	wantCollErr(t, 1, core.ErrInternal, "negative count", func(c *Comm) error {
+		return c.Gatherv(0, make([]byte, 4), make([]byte, 8), []int{-4})
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	wantCollErr(t, 1, core.ErrTruncate, "send buffer short", func(c *Comm) error {
+		return c.Scatter(0, make([]byte, 4), make([]byte, 8))
+	})
+	wantCollErr(t, 1, core.ErrTruncate, "receive buffer truncates rank 0", func(c *Comm) error {
+		return c.Scatterv(0, make([]byte, 8), []int{8}, make([]byte, 4))
+	})
+}
+
+func TestAllgatherValidation(t *testing.T) {
+	wantCollErr(t, 2, core.ErrTruncate, "receive buffer truncates 8 gathered bytes", func(c *Comm) error {
+		return c.Allgather(make([]byte, 4), make([]byte, 6))
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "truncates 7 gathered bytes", func(c *Comm) error {
+		return c.Allgatherv(make([]byte, 4), make([]byte, 6), []int{4, 3})
+	})
+}
+
+func TestReduceValidation(t *testing.T) {
+	noop := func(dst, src []byte) {}
+	wantCollErr(t, 1, core.ErrTruncate, "truncates 8-byte reduction", func(c *Comm) error {
+		return c.Reduce(0, noop, make([]byte, 8), make([]byte, 4))
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "truncates 8-byte reduction", func(c *Comm) error {
+		return c.Allreduce(noop, make([]byte, 8), make([]byte, 4))
+	})
+	wantCollErr(t, 2, core.ErrInternal, "not a multiple of 8-byte elements", func(c *Comm) error {
+		return c.AllreduceElem(noop, 8, make([]byte, 12), make([]byte, 12))
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "Scan", func(c *Comm) error {
+		return c.Scan(noop, make([]byte, 8), make([]byte, 4))
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "ReduceScatter: counts total 12 bytes", func(c *Comm) error {
+		return c.ReduceScatter(noop, make([]byte, 8), make([]byte, 8), []int{6, 6})
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "ReduceScatter", func(c *Comm) error {
+		return c.ReduceScatter(noop, make([]byte, 8), make([]byte, 2), []int{4, 4})
+	})
+}
+
+func TestAlltoallvValidation(t *testing.T) {
+	wantCollErr(t, 2, core.ErrInternal, "send displacements", func(c *Comm) error {
+		return c.Alltoallv(make([]byte, 8), []int{4, 4}, []int{0}, make([]byte, 8), []int{4, 4}, []int{0, 4})
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "outside 8-byte send buffer", func(c *Comm) error {
+		return c.Alltoallv(make([]byte, 8), []int{4, 6}, []int{0, 4}, make([]byte, 16), []int{4, 6}, []int{0, 4})
+	})
+	wantCollErr(t, 2, core.ErrTruncate, "outside 6-byte receive buffer", func(c *Comm) error {
+		return c.Alltoallv(make([]byte, 8), []int{4, 4}, []int{0, 4}, make([]byte, 6), []int{4, 4}, []int{0, 4})
+	})
+}
+
+// TestExscanValidation: only ranks past 0 have a significant receive
+// buffer, so only they must reject a short one. Rank 0 proceeds; its sends
+// are small enough to complete eagerly against the errored peer.
+func TestExscanValidation(t *testing.T) {
+	wantCollErr(t, 2, core.ErrTruncate, "Exscan", func(c *Comm) error {
+		noop := func(dst, src []byte) {}
+		return c.Exscan(noop, make([]byte, 8), make([]byte, 4))
+	})
+}

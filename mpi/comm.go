@@ -4,8 +4,19 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 )
+
+// mgmtTune pins communicator-management traffic to the binomial broadcast
+// regardless of user tuning: bootstrap must work on any communicator shape
+// (a forced hardware broadcast is world-only, for instance).
+var mgmtTune = coll.Tuning{"bcast": "binomial"}
+
+// mgmtBcast broadcasts communicator-management metadata from root.
+func (c *Comm) mgmtBcast(root int, buf []byte) error {
+	return coll.Run(collComm{c}, mgmtTune, "bcast", len(buf), coll.Args{Root: root, Buf: buf})
+}
 
 // Communicator management: Dup and Split create new communicators whose
 // context ids isolate their traffic from the parent's, as required by the
@@ -20,7 +31,7 @@ func (c *Comm) Dup() (*Comm, error) {
 	if c.rank == 0 {
 		binary.LittleEndian.PutUint64(ctxBuf, uint64(c.w.allocCtxPair()))
 	}
-	if err := c.bcastBinomial(0, ctxBuf); err != nil {
+	if err := c.mgmtBcast(0, ctxBuf); err != nil {
 		return nil, err
 	}
 	group := make([]int, len(c.group))
@@ -32,6 +43,7 @@ func (c *Comm) Dup() (*Comm, error) {
 		ctx:   int(binary.LittleEndian.Uint64(ctxBuf)),
 		group: group,
 		rank:  c.rank,
+		tune:  c.tune,
 	}, nil
 }
 
@@ -79,7 +91,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 			binary.LittleEndian.PutUint64(meta[16*p+8*r:], uint64(int64(ctx)))
 		}
 	}
-	if err := c.bcastBinomial(0, meta); err != nil {
+	if err := c.mgmtBcast(0, meta); err != nil {
 		return nil, err
 	}
 
@@ -117,7 +129,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if myCtx < 0 || myNewRank < 0 {
 		return nil, core.Errorf(core.ErrInternal, "split bookkeeping failed (ctx=%d rank=%d)", myCtx, myNewRank)
 	}
-	return &Comm{w: c.w, p: c.p, ep: c.ep, ctx: myCtx, group: group, rank: myNewRank}, nil
+	return &Comm{w: c.w, p: c.p, ep: c.ep, ctx: myCtx, group: group, rank: myNewRank, tune: c.tune}, nil
 }
 
 // Group returns a copy of the communicator's world-rank group.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -56,8 +57,13 @@ const (
 // World owns the per-rank endpoints of one job and the shared communicator
 // state (context-id allocation). It is created by the platform runners.
 type World struct {
-	S        *sim.Scheduler
-	Bcast    BcastAlg
+	S     *sim.Scheduler
+	Bcast BcastAlg
+	// Tune forces collective algorithms by registered name, per operation
+	// (see coll.ParseTuning); a "bcast" entry wins over the legacy Bcast
+	// knob. Operations without an entry auto-select by message size,
+	// communicator size, and platform capability.
+	Tune     coll.Tuning
 	eps      []core.Endpoint
 	nextCtx  int
 	rankDone []sim.Time
@@ -89,6 +95,34 @@ func (w *World) EnableTrace() *trace.Log {
 	return l
 }
 
+// tuning folds the legacy Bcast knob into the world's collective tuning:
+// an explicit Tune["bcast"] entry wins, otherwise a non-Auto Bcast maps to
+// the corresponding registered algorithm name.
+func (w *World) tuning() coll.Tuning {
+	name := ""
+	switch w.Bcast {
+	case BcastLinear:
+		name = "linear"
+	case BcastBinomial:
+		name = "binomial"
+	case BcastHardware:
+		name = "hardware"
+	case BcastPipelined:
+		name = "pipelined"
+	}
+	if name == "" {
+		return w.Tune
+	}
+	if _, forced := w.Tune["bcast"]; forced {
+		return w.Tune
+	}
+	t := coll.Tuning{"bcast": name}
+	for op, alg := range w.Tune {
+		t[op] = alg
+	}
+	return t
+}
+
 // allocCtxPair hands out a fresh (point-to-point, collective) context-id
 // pair. Callers must invoke it from exactly one rank per communicator
 // creation and distribute the result (Dup/Split do this at their root),
@@ -105,9 +139,10 @@ type Comm struct {
 	w     *World
 	p     *sim.Proc
 	ep    core.Endpoint
-	ctx   int   // point-to-point context; ctx+1 is the collective context
-	group []int // comm rank -> world rank
-	rank  int   // this process's rank in the communicator
+	ctx   int         // point-to-point context; ctx+1 is the collective context
+	group []int       // comm rank -> world rank
+	rank  int         // this process's rank in the communicator
+	tune  coll.Tuning // effective collective tuning, inherited by Dup/Split
 }
 
 // NewRankComm builds rank r's world communicator; used by platform runners.
@@ -116,7 +151,7 @@ func NewRankComm(w *World, r int, p *sim.Proc) *Comm {
 	for i := range group {
 		group[i] = i
 	}
-	return &Comm{w: w, p: p, ep: w.eps[r], ctx: 0, group: group, rank: r}
+	return &Comm{w: w, p: p, ep: w.eps[r], ctx: 0, group: group, rank: r, tune: w.tuning()}
 }
 
 // Rank reports the calling process's rank in the communicator.

@@ -129,13 +129,24 @@ func BytesInt64(b []byte) []int64 {
 	return xs
 }
 
-// AllreduceFloat64 is a convenience wrapper reducing a float64 slice.
+// AllreduceFloat64 is a convenience wrapper reducing a float64 slice. The
+// declared 8-byte element size lets the vector-splitting allreduce
+// algorithms apply.
 func (c *Comm) AllreduceFloat64(op Op, xs []float64) ([]float64, error) {
 	out := make([]byte, 8*len(xs))
-	if err := c.Allreduce(op, Float64Bytes(xs), out); err != nil {
+	if err := c.AllreduceElem(op, 8, Float64Bytes(xs), out); err != nil {
 		return nil, err
 	}
 	return BytesFloat64(out), nil
+}
+
+// AllreduceInt64 is AllreduceFloat64's integer sibling.
+func (c *Comm) AllreduceInt64(op Op, xs []int64) ([]int64, error) {
+	out := make([]byte, 8*len(xs))
+	if err := c.AllreduceElem(op, 8, Int64Bytes(xs), out); err != nil {
+		return nil, err
+	}
+	return BytesInt64(out), nil
 }
 
 // ReduceFloat64 reduces a float64 slice to the root (nil elsewhere).

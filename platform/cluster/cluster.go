@@ -60,8 +60,8 @@ type Config struct {
 	CreditBytes int
 	// Costs overrides the kernel/wire cost model; nil means DefaultCosts.
 	Costs *atm.Costs
-	// Bcast overrides the broadcast algorithm; the default is the paper's
-	// succession of point-to-point messages (BcastLinear).
+	// Bcast forces the broadcast algorithm; the default (BcastAuto) lets
+	// the collective layer select by message and communicator size.
 	Bcast mpi.BcastAlg
 	// LossRate injects datagram loss (UDP transport only).
 	LossRate float64
@@ -136,11 +136,7 @@ func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
 	}
 
 	w := mpi.NewWorld(s, eps)
-	if cfg.Bcast != mpi.BcastAuto {
-		w.Bcast = cfg.Bcast
-	} else {
-		w.Bcast = mpi.BcastLinear // the paper's cluster MPI_Bcast
-	}
+	w.Bcast = cfg.Bcast // BcastAuto defers to the collective layer's selector
 	return w, cl
 }
 

@@ -48,6 +48,11 @@ type transport struct {
 	rndvSend   map[int64]*core.Request // sender requests awaiting CTS
 	rndvRecv   map[uint32]*rndvRecvSt  // receiver handle -> landing state
 	nextHandle uint32
+	// In-progress inbound Data frames, per source (TCP only): the payload
+	// read consumes only what the kernel buffer holds and resumes on later
+	// polls, so a receiver never parks mid-frame holding unsent bytes of
+	// its own.
+	inData []*tcpData
 
 	// Buffered sends whose credits arrived; shipped on the next Poll from
 	// the owning process's context.
@@ -60,6 +65,13 @@ type rndvRecvSt struct {
 	got   int           // payload bytes landed so far (UDP chunking)
 	want  int           // bytes that fit the posted buffer
 	total int           // full message size announced by the RTS
+}
+
+// tcpData tracks one partially-read rendezvous payload on a TCP stream.
+type tcpData struct {
+	st  *rndvRecvSt
+	aux uint32        // the rndvRecv handle, for completion cleanup
+	env core.Envelope // the Data frame's header envelope
 }
 
 func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit int, kind TransportKind, net atm.MediumKind, peers []*transport) *transport {
@@ -80,6 +92,7 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 		owed:     flow.NewOwed(size, credit/4),
 		rndvSend: make(map[int64]*core.Request),
 		rndvRecv: make(map[uint32]*rndvRecvSt),
+		inData:   make([]*tcpData, size),
 	}
 	// Eager messages charge header+payload bytes against the receiver's
 	// reservation; rendezvous envelopes are credit-exempt (their payload is
@@ -97,6 +110,10 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 func (t *transport) attachConn(peer int, c *atm.TCP) {
 	t.conns[peer] = c
 	c.OnReadable(func() { t.wake() })
+	// Window updates must reach a writer parked in interleave (its yield
+	// waits on the transport-wide creditCond, since the wakeup it needs may
+	// arrive on any connection, not just the one it is writing).
+	c.OnWritable(func() { t.wake() })
 }
 
 // dgramLink abstracts a reliable, in-order datagram channel: the RUDP
@@ -212,7 +229,19 @@ func (t *transport) SendPayload(p *sim.Proc, req *core.Request, pkt *core.Packet
 	dst := req.Env.Dest
 	data := req.Buf
 	if t.kind == TCP {
-		t.writeFrame(p, dst, core.PktData, req.Env, handle, data)
+		// The frame may exceed the receiver's TCP window, and the peer may
+		// be pushing an equally large frame at us at the same moment (the
+		// symmetric exchanges every large collective performs). A plain
+		// blocking write would park both sides on window space with neither
+		// draining its inbound stream, so interleave: whenever the window
+		// closes, parse whatever has arrived before parking.
+		hdr := flow.EncodeHeader(core.PktData, t.owed.Take(dst), req.Env, handle)
+		frame := append(hdr[:], data...)
+		t.conns[dst].WriteInterleaved(p, frame, func() {
+			if !t.parseAvailable(p) {
+				t.creditCond.Wait(p)
+			}
+		})
 		t.eng.SendDone(req)
 		return
 	}
@@ -336,6 +365,12 @@ func (t *transport) parseAvailable(p *sim.Proc) bool {
 // parseTCP consumes one message from conn, performing the paper's two
 // header reads (message type, then credit+envelope) and any payload read.
 func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
+	if d := t.inData[src]; d != nil {
+		// Resume the partially-read Data frame before touching headers:
+		// everything readable on this stream is its remaining payload.
+		t.readData(p, src, conn, d)
+		return
+	}
 	acct := t.eng.Acct()
 	var hdr [headerBytes]byte
 
@@ -369,15 +404,9 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 			t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "rendezvous data for unknown handle %d", aux))
 			return
 		}
-		t2 := p.Now()
-		conn.ReadFull(p, st.req.Buf[:st.want])
-		if env.Count > st.want {
-			// The receive buffer was short: drain and discard the excess.
-			conn.ReadFull(p, make([]byte, env.Count-st.want))
-		}
-		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
-		delete(t.rndvRecv, aux)
-		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: st.req.ID})
+		d := &tcpData{st: st, aux: aux, env: env}
+		t.inData[src] = d
+		t.readData(p, src, conn, d)
 	case core.PktSyncAck:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
 	case core.PktCredit:
@@ -385,6 +414,44 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 	default:
 		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "unknown packet kind %d from %d", kind, src))
 	}
+}
+
+// readData lands however much of a rendezvous payload the kernel buffer
+// holds, resuming on later polls until the frame completes. Reading only
+// buffered bytes — never parking for more — is what keeps two peers
+// exchanging window-exceeding payloads deadlock-free: each side alternates
+// between pushing its own frame and draining the other's.
+func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
+	acct := t.eng.Acct()
+	st := d.st
+	for st.got < st.total {
+		n := conn.Buffered()
+		if n == 0 {
+			return // resume when the next segment arrives
+		}
+		if rem := st.total - st.got; n > rem {
+			n = rem
+		}
+		t2 := p.Now()
+		if st.got < st.want {
+			end := st.got + n
+			if end > st.want {
+				end = st.want
+			}
+			conn.ReadFull(p, st.req.Buf[st.got:end])
+			if rest := n - (end - st.got); rest > 0 {
+				// The receive buffer was short: drain and discard the excess.
+				conn.ReadFull(p, make([]byte, rest))
+			}
+		} else {
+			conn.ReadFull(p, make([]byte, n))
+		}
+		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
+		st.got += n
+	}
+	t.inData[src] = nil
+	delete(t.rndvRecv, d.aux)
+	t.inbox = append(t.inbox, &core.Packet{Kind: core.PktData, Env: d.env, ReqID: st.req.ID})
 }
 
 // parseDgram consumes one reliable datagram, reporting whether one was

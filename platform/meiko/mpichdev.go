@@ -88,6 +88,9 @@ type MPICHEndpoint struct {
 // SetTrace attaches a timeline log (the profiling interface).
 func (e *MPICHEndpoint) SetTrace(l *trace.Log) { e.trace = l }
 
+// TraceLog returns the attached timeline log (nil when tracing is off).
+func (e *MPICHEndpoint) TraceLog() *trace.Log { return e.trace }
+
 func (e *MPICHEndpoint) trc(kind trace.Kind, peer, tag, bytes int, note string) {
 	if e.trace == nil {
 		return

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/mpi"
@@ -42,6 +43,7 @@ type Spec struct {
 	Seed      int64 // workload/scheduler seed
 
 	// Ablation knobs, threaded to the platform configs.
+	Coll          string       // collective tuning, "op=alg,..." (see coll.ParseTuning; "" = auto-select)
 	Bcast         mpi.BcastAlg // broadcast algorithm override (BcastAuto = platform default)
 	LossRate      float64      // cluster: datagram loss injection (UDP)
 	TCPNagle      bool         // cluster: leave Nagle/delayed acks on (no TCP_NODELAY)
@@ -128,7 +130,18 @@ func Build(s Spec) (*mpi.World, error) {
 	if s.Ranks <= 0 {
 		return nil, fmt.Errorf("backend %q: spec needs Ranks >= 1, got %d", s.Key(), s.Ranks)
 	}
-	return b(s)
+	w, err := b(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Coll != "" {
+		t, err := coll.ParseTuning(s.Coll)
+		if err != nil {
+			return nil, fmt.Errorf("backend %q: %w", s.Key(), err)
+		}
+		w.Tune = t
+	}
+	return w, nil
 }
 
 // Run builds the world for s and executes body as an MPI job on it.
