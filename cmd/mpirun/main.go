@@ -40,6 +40,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	fattree := flag.Bool("fattree", false, "meiko: staged fat-tree congestion model")
 	collTune := flag.String("coll", "", `force collective algorithms, e.g. "bcast=pipelined,allreduce=rsag" (default auto-select)`)
+	loss := flag.Float64("loss", 0, "cluster: per-frame loss probability (datagram traffic)")
+	delay := flag.Duration("delay", 0, "cluster: fixed one-way latency added per frame")
+	jitter := flag.Duration("jitter", 0, "cluster: extra uniform per-frame latency in [0, jitter)")
+	reorder := flag.Float64("reorder", 0, "cluster: per-frame reordering probability")
+	dup := flag.Float64("dup", 0, "cluster: per-frame duplication probability")
+	dropnth := flag.Int("dropnth", 0, "cluster: deterministically drop every Nth frame")
+	partition := flag.String("partition", "", `cluster: partition schedule, e.g. "0-1@5ms:20ms;2-*" (A-B[@FROM:UNTIL], * = any host)`)
+	faultseed := flag.Int64("faultseed", 0, "cluster: fault-injection RNG seed (0 = derive from -seed)")
 	flag.Parse()
 
 	validApp := false
@@ -54,13 +62,22 @@ func main() {
 	}
 
 	spec := registry.Spec{
-		Platform:  *platform,
-		Impl:      *impl,
-		Transport: *transport,
-		Network:   *network,
-		Ranks:     *np,
-		FatTree:   *fattree,
-		Coll:      *collTune,
+		Platform:   *platform,
+		Impl:       *impl,
+		Transport:  *transport,
+		Network:    *network,
+		Ranks:      *np,
+		Seed:       *seed,
+		FatTree:    *fattree,
+		Coll:       *collTune,
+		LossRate:   *loss,
+		Delay:      *delay,
+		Jitter:     *jitter,
+		Reorder:    *reorder,
+		Duplicate:  *dup,
+		DropEveryN: *dropnth,
+		Partition:  *partition,
+		FaultSeed:  *faultseed,
 	}
 	if _, ok := registry.Lookup(spec.Key()); !ok {
 		log.Fatalf("mpirun: no backend %q\nregistered backends:\n  %s",

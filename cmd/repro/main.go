@@ -29,12 +29,14 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
 	anchors := flag.Bool("anchors", false, "print the calibration-anchor comparison")
 	collectives := flag.Bool("collectives", false, "sweep every collective algorithm across sizes and derive crossovers")
+	faults := flag.Bool("faults", false, "sweep latency and bandwidth across injected loss rates on every cluster transport")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG chart into this directory")
 	jsonPath := flag.String("json", "BENCH_anchors.json", "with -anchors: write the machine-readable record here (\"\" disables)")
 	collJSONPath := flag.String("colljson", "BENCH_collectives.json", "with -collectives: write the machine-readable record here (\"\" disables)")
+	faultsJSONPath := flag.String("faultsjson", "BENCH_faults.json", "with -faults: write the machine-readable record here (\"\" disables)")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -73,8 +75,9 @@ func main() {
 	if *all {
 		*anchors = true
 		*collectives = true
+		*faults = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults {
 		flag.Usage()
 		return
 	}
@@ -155,6 +158,24 @@ func main() {
 				log.Fatal(err)
 			}
 			log.Printf("wrote %s", *collJSONPath)
+		}
+	}
+
+	if *faults {
+		rep, err := bench.Faults(o)
+		if err != nil {
+			log.Fatalf("faults: %v", err)
+		}
+		fmt.Println(bench.FormatFaults(rep))
+		if *faultsJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("faults json: %v", err)
+			}
+			if err := os.WriteFile(*faultsJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *faultsJSONPath)
 		}
 	}
 

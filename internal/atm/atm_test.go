@@ -103,11 +103,11 @@ func TestATMDisjointPairsParallel(t *testing.T) {
 func TestLossInjectionDeterministic(t *testing.T) {
 	run := func() int {
 		s, cl := newCluster(2)
-		cl.Eth.LossRate = 0.3
+		cl.SetFaults(Faults{Seed: 7, Loss: 0.3})
 		delivered := 0
 		s.At(0, func() {
 			for i := 0; i < 100; i++ {
-				cl.Eth.Deliver(0, 1, 100, DeliverOpts{Droppable: true}, func() { delivered++ })
+				cl.Medium(OverEthernet).Deliver(0, 1, 100, DeliverOpts{Droppable: true}, func() { delivered++ })
 			}
 		})
 		s.Run()
@@ -124,11 +124,11 @@ func TestLossInjectionDeterministic(t *testing.T) {
 
 func TestNonDroppableNeverLost(t *testing.T) {
 	s, cl := newCluster(2)
-	cl.Eth.LossRate = 1.0
+	cl.SetFaults(Faults{Seed: 1, Loss: 1.0})
 	delivered := 0
 	s.At(0, func() {
 		for i := 0; i < 10; i++ {
-			cl.Eth.Deliver(0, 1, 100, DeliverOpts{}, func() { delivered++ })
+			cl.Medium(OverEthernet).Deliver(0, 1, 100, DeliverOpts{}, func() { delivered++ })
 		}
 	})
 	s.Run()
@@ -339,7 +339,7 @@ func TestUDPFragmentationRoundTrip(t *testing.T) {
 
 func TestUDPLossDropsDatagrams(t *testing.T) {
 	s, cl := newCluster(2)
-	cl.Atm.LossRate = 0.5
+	cl.SetFaults(Faults{Seed: 3, Loss: 0.5})
 	u0 := cl.UDPSocket(0, OverATM)
 	u1 := cl.UDPSocket(1, OverATM)
 	const sent = 60
@@ -454,7 +454,7 @@ func TestFigure4AAL4NotMuchFasterThanTCPUDP(t *testing.T) {
 
 func TestRUDPReliableInOrderUnderLoss(t *testing.T) {
 	s, cl := newCluster(2)
-	cl.Atm.LossRate = 0.25
+	cl.SetFaults(Faults{Seed: 5, Loss: 0.25})
 	r0 := NewRUDP(cl.UDPSocket(0, OverATM))
 	r1 := NewRUDP(cl.UDPSocket(1, OverATM))
 	const msgs = 40

@@ -13,6 +13,10 @@ type Cluster struct {
 	Eth   *Ethernet
 	Atm   *ATMNet
 
+	// Every protocol stack reaches the wire through these fault injectors
+	// (transparent until SetFaults installs a policy).
+	ethInj, atmInj *Injector
+
 	udpPorts map[MediumKind]map[int]*UDP // medium -> host -> bound socket
 	aal4     map[int]*AAL4               // host -> Fore API socket
 	unet     map[int]*UNet               // host -> user-level endpoint
@@ -20,7 +24,7 @@ type Cluster struct {
 
 // NewCluster builds an n-host cluster on scheduler s.
 func NewCluster(s *sim.Scheduler, n int, c Costs) *Cluster {
-	return &Cluster{
+	cl := &Cluster{
 		S:     s,
 		Costs: c,
 		N:     n,
@@ -31,14 +35,31 @@ func NewCluster(s *sim.Scheduler, n int, c Costs) *Cluster {
 			OverATM:      {},
 		},
 	}
+	cl.ethInj = NewInjector(s, cl.Eth)
+	cl.atmInj = NewInjector(s, cl.Atm)
+	return cl
 }
 
-// Medium returns the requested wire.
+// Medium returns the requested wire, behind its fault injector.
 func (cl *Cluster) Medium(k MediumKind) Medium {
+	return cl.Injector(k)
+}
+
+// Injector returns the fault injector in front of medium k.
+func (cl *Cluster) Injector(k MediumKind) *Injector {
 	if k == OverEthernet {
-		return cl.Eth
+		return cl.ethInj
 	}
-	return cl.Atm
+	return cl.atmInj
+}
+
+// SetFaults installs one fault policy on both media (each injector draws
+// from its own stream of the policy seed).
+func (cl *Cluster) SetFaults(f Faults) error {
+	if err := cl.ethInj.Set(f); err != nil {
+		return err
+	}
+	return cl.atmInj.Set(f)
 }
 
 // readExtra is the per-read stack cost that differs between the Ethernet

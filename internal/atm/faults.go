@@ -1,0 +1,349 @@
+package atm
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// This file is the cluster's fault/condition layer: one composable policy
+// (Faults) applied by an Injector that wraps any Medium. Every way the wire
+// can misbehave — loss, added latency, jitter, reordering, duplication,
+// partitions, scripted drops — lives here, seeded and deterministic, instead
+// of being hand-rolled per medium. The protocol stacks above (UDP/RUDP, TCP,
+// AAL4, U-Net) see only the Medium interface and are driven through faults
+// without knowing the policy exists.
+
+// Partition blocks all frames (droppable or not) between a host pair during
+// a virtual-time window. A == -1 or B == -1 matches any host, so {-1, h}
+// isolates h from everyone. Until == 0 means the partition never heals.
+type Partition struct {
+	A, B        int
+	From, Until sim.Duration
+}
+
+// blocks reports whether the partition severs a src->dst frame at time now.
+func (pt Partition) blocks(src, dst int, now sim.Time) bool {
+	pair := func(a, b int) bool {
+		return (pt.A == -1 || pt.A == a) && (pt.B == -1 || pt.B == b)
+	}
+	if !pair(src, dst) && !pair(dst, src) {
+		return false
+	}
+	if now < sim.Time(pt.From) {
+		return false
+	}
+	if pt.Until != 0 && now >= sim.Time(pt.Until) {
+		return false
+	}
+	return true
+}
+
+// Faults is one fault policy. The zero value injects nothing. Probabilities
+// are in [0, 1]; random draws come from a dedicated generator seeded with
+// Seed, so fault decisions are reproducible and independent of the
+// workload's own randomness.
+type Faults struct {
+	Seed int64
+
+	// Loss drops each droppable frame with this probability. Frames sent
+	// with DeliverOpts.Droppable == false (TCP segments, whose loss recovery
+	// the model deliberately omits) are exempt, as are U-Net frames (the
+	// switch's dedicated links are flow controlled and lossless).
+	Loss float64
+	// DropEveryN deterministically drops every Nth droppable frame
+	// (1-based), for scripted scenarios independent of the seed.
+	DropEveryN int
+
+	// Delay adds a fixed one-way latency to every frame; Jitter adds a
+	// further uniform draw from [0, Jitter) per frame.
+	Delay  sim.Duration
+	Jitter sim.Duration
+
+	// Reorder holds each droppable frame for an extra ReorderDelay with
+	// this probability, letting later frames overtake it (the media are
+	// otherwise FIFO per pair). ReorderDelay == 0 uses DefaultReorderDelay.
+	Reorder      float64
+	ReorderDelay sim.Duration
+
+	// Duplicate delivers each droppable frame twice with this probability.
+	Duplicate float64
+
+	// Partitions lists scheduled connectivity cuts.
+	Partitions []Partition
+}
+
+// DefaultReorderDelay is the hold time applied to reordered frames when the
+// policy does not set one: long enough that back-to-back small frames
+// overtake, short against any RTO.
+const DefaultReorderDelay = 500 * time.Microsecond
+
+// active reports whether the policy can ever perturb a frame.
+func (f Faults) active() bool {
+	return f.Loss > 0 || f.DropEveryN > 0 || f.Delay > 0 || f.Jitter > 0 ||
+		f.Reorder > 0 || f.Duplicate > 0 || len(f.Partitions) > 0
+}
+
+// Validate rejects out-of-range knobs.
+func (f Faults) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s probability %g outside [0, 1]", name, p)
+		}
+		return nil
+	}
+	if err := check("loss", f.Loss); err != nil {
+		return err
+	}
+	if err := check("reorder", f.Reorder); err != nil {
+		return err
+	}
+	if err := check("duplicate", f.Duplicate); err != nil {
+		return err
+	}
+	if f.DropEveryN < 0 {
+		return fmt.Errorf("faults: drop-every-N %d is negative", f.DropEveryN)
+	}
+	if f.Delay < 0 || f.Jitter < 0 || f.ReorderDelay < 0 {
+		return fmt.Errorf("faults: negative delay")
+	}
+	for _, pt := range f.Partitions {
+		if pt.Until != 0 && pt.Until <= pt.From {
+			return fmt.Errorf("faults: partition %d-%d heals at %v before starting at %v", pt.A, pt.B, pt.Until, pt.From)
+		}
+	}
+	return nil
+}
+
+// FaultStats counts injected events (tests and instrumentation).
+type FaultStats struct {
+	Dropped     int // frames lost to Loss or DropEveryN
+	Partitioned int // frames severed by a partition
+	Duplicated  int // frames delivered twice
+	Reordered   int // frames held past their successors
+	Delayed     int // frames carrying added Delay/Jitter
+}
+
+// Injector applies a Faults policy in front of a Medium. With no policy set
+// it is a transparent passthrough that consumes no randomness, so a
+// fault-free run is bit-identical to one without the injector. Frames
+// surviving the policy enter the wrapped medium in their (possibly delayed)
+// order; reordering works by holding a frame so its successors reach the
+// FIFO wire first.
+type Injector struct {
+	s     *sim.Scheduler
+	inner Medium
+
+	policy *Faults
+	rng    *rand.Rand
+	nth    int // droppable-frame counter for DropEveryN
+
+	Stats FaultStats
+}
+
+// NewInjector wraps inner with a (initially empty) fault policy.
+func NewInjector(s *sim.Scheduler, inner Medium) *Injector {
+	return &Injector{s: s, inner: inner}
+}
+
+// Set installs policy f; an inactive policy clears the injector.
+func (in *Injector) Set(f Faults) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if !f.active() {
+		in.Clear()
+		return nil
+	}
+	cp := f
+	// Distinct streams per medium so eth and atm draws do not track each
+	// other under the same policy seed.
+	in.policy = &cp
+	in.rng = rand.New(rand.NewSource(f.Seed<<1 ^ int64(in.inner.Kind())))
+	in.nth = 0
+	return nil
+}
+
+// Clear removes the policy, restoring transparent passthrough.
+func (in *Injector) Clear() {
+	in.policy = nil
+	in.rng = nil
+}
+
+// Policy reports the installed policy (nil when passthrough).
+func (in *Injector) Policy() *Faults { return in.policy }
+
+// Kind implements Medium.
+func (in *Injector) Kind() MediumKind { return in.inner.Kind() }
+
+// MTU implements Medium.
+func (in *Injector) MTU() int { return in.inner.MTU() }
+
+// plan decides one frame's fate: dropped, or delivered once (or twice, when
+// duplicated) with the listed extra delays. It consumes randomness only when
+// a policy is installed.
+func (in *Injector) plan(src, dst int, droppable bool) (drop bool, extras []sim.Duration) {
+	f := in.policy
+	if f == nil {
+		return false, nil
+	}
+	now := in.s.Now()
+	for _, pt := range f.Partitions {
+		if pt.blocks(src, dst, now) {
+			in.Stats.Partitioned++
+			return true, nil
+		}
+	}
+	if droppable {
+		if f.DropEveryN > 0 {
+			in.nth++
+			if in.nth%f.DropEveryN == 0 {
+				in.Stats.Dropped++
+				return true, nil
+			}
+		}
+		if f.Loss > 0 && in.rng.Float64() < f.Loss {
+			in.Stats.Dropped++
+			return true, nil
+		}
+	}
+	extra := f.Delay
+	if f.Jitter > 0 {
+		extra += sim.Duration(in.rng.Int63n(int64(f.Jitter)))
+	}
+	if droppable && f.Reorder > 0 && in.rng.Float64() < f.Reorder {
+		hold := f.ReorderDelay
+		if hold == 0 {
+			hold = DefaultReorderDelay
+		}
+		extra += hold
+		in.Stats.Reordered++
+	}
+	if extra > 0 {
+		in.Stats.Delayed++
+	}
+	extras = []sim.Duration{extra}
+	if droppable && f.Duplicate > 0 && in.rng.Float64() < f.Duplicate {
+		in.Stats.Duplicated++
+		extras = append(extras, extra)
+	}
+	return false, extras
+}
+
+// Deliver implements Medium: the frame passes through the policy, then (if
+// it survives) enters the wrapped medium after any added delay. A dropped
+// frame never reaches the wire — it is cut at the sending port.
+func (in *Injector) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool {
+	if in.policy == nil {
+		return in.inner.Deliver(src, dst, n, opts, deliver)
+	}
+	drop, extras := in.plan(src, dst, opts.Droppable)
+	if drop {
+		return false
+	}
+	for _, extra := range extras {
+		if extra == 0 {
+			in.inner.Deliver(src, dst, n, opts, deliver)
+			continue
+		}
+		in.s.After(extra, func() {
+			in.inner.Deliver(src, dst, n, opts, deliver)
+		})
+	}
+	return true
+}
+
+// admit is plan for byte paths that bypass the Medium interface entirely
+// (the U-Net endpoint writes straight into the switch FIFOs). Partition and
+// delay faults still apply there; loss/duplication/reordering do not when
+// droppable is false, matching the lossless flow-controlled links.
+func (in *Injector) admit(src, dst int, droppable bool) (drop bool, extras []sim.Duration) {
+	if in.policy == nil {
+		return false, []sim.Duration{0}
+	}
+	drop, extras = in.plan(src, dst, droppable)
+	if drop {
+		return true, nil
+	}
+	return false, extras
+}
+
+// ParsePartitions parses a partition schedule DSL: semicolon-separated
+// entries of the form "A-B[@FROM:UNTIL]", where A/B are host ids or "*"
+// (any host), FROM/UNTIL are Go durations since run start, an empty UNTIL
+// never heals, and a missing "@..." means "cut forever from t=0".
+//
+//	"0-1"              hosts 0 and 1 cut for the whole run
+//	"0-*@1ms:"         host 0 isolated from 1 ms on
+//	"0-1@5ms:20ms;2-3" two cuts, one windowed, one permanent
+func ParsePartitions(spec string) ([]Partition, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Partition
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		pair, window, windowed := strings.Cut(entry, "@")
+		a, b, ok := strings.Cut(pair, "-")
+		if !ok {
+			return nil, fmt.Errorf("partition %q: want A-B[@FROM:UNTIL]", entry)
+		}
+		pt := Partition{}
+		var err error
+		if pt.A, err = parseHost(a); err != nil {
+			return nil, fmt.Errorf("partition %q: %v", entry, err)
+		}
+		if pt.B, err = parseHost(b); err != nil {
+			return nil, fmt.Errorf("partition %q: %v", entry, err)
+		}
+		if windowed {
+			from, until, ok := strings.Cut(window, ":")
+			if !ok {
+				return nil, fmt.Errorf("partition %q: window %q wants FROM:UNTIL", entry, window)
+			}
+			if pt.From, err = parseDur(from); err != nil {
+				return nil, fmt.Errorf("partition %q: %v", entry, err)
+			}
+			if until != "" {
+				if pt.Until, err = parseDur(until); err != nil {
+					return nil, fmt.Errorf("partition %q: %v", entry, err)
+				}
+			}
+		}
+		if (Faults{Partitions: []Partition{pt}}).Validate() != nil {
+			return nil, fmt.Errorf("partition %q: heals before it starts", entry)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func parseHost(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "*" {
+		return -1, nil
+	}
+	h, err := strconv.Atoi(s)
+	if err != nil || h < 0 {
+		return 0, fmt.Errorf("bad host %q (id or *)", s)
+	}
+	return h, nil
+}
+
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %v", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return d, nil
+}

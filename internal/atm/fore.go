@@ -51,7 +51,7 @@ func (a *AAL4) SendTo(p *sim.Proc, dst int, data []byte) {
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	src := a.host
-	a.cl.Atm.Deliver(a.host, dst, len(data), DeliverOpts{AAL34: true, Droppable: true}, func() {
+	a.cl.Medium(OverATM).Deliver(a.host, dst, len(data), DeliverOpts{AAL34: true, Droppable: true}, func() {
 		a.cl.S.After(k.AAL4PerPacket, func() {
 			peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
 			peer.readable.Broadcast()

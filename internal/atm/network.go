@@ -41,14 +41,12 @@ type Medium interface {
 
 // Ethernet is the 10 Mbit/s shared medium: every frame from every host
 // serializes on one wire, which is what makes the cluster's Figure 9 lose
-// to ATM under contention.
+// to ATM under contention. Loss and other faults are not modeled here: the
+// Injector wrapping every medium (faults.go) owns misbehavior.
 type Ethernet struct {
-	s        *sim.Scheduler
-	c        Costs
-	wire     *sim.FIFO
-	LossRate float64
-	// Dropped counts loss-injected frames (tests).
-	Dropped int
+	s    *sim.Scheduler
+	c    Costs
+	wire *sim.FIFO
 
 	// CSMACD enables collision modeling: a station finding the medium
 	// busy pays a random exponential backoff (in slot times) scaled by the
@@ -88,12 +86,6 @@ func (e *Ethernet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bo
 	if n > EthMTU {
 		panic(fmt.Sprintf("ethernet: frame payload %d exceeds MTU", n))
 	}
-	if opts.Droppable && e.LossRate > 0 && e.s.Rand().Float64() < e.LossRate {
-		e.Dropped++
-		// The collision/loss still occupies the wire.
-		e.wire.UseAsync(sim.Duration(FrameWireBytes(n))*e.c.EthPerByte, nil)
-		return false
-	}
 	wire := sim.Duration(FrameWireBytes(n)) * e.c.EthPerByte
 	if e.CSMACD && e.wire.BusyUntil() > e.s.Now() {
 		// Contended medium: model collisions + truncated binary
@@ -124,8 +116,6 @@ type ATMNet struct {
 	s        *sim.Scheduler
 	c        Costs
 	up, down []*sim.FIFO
-	LossRate float64
-	Dropped  int
 }
 
 // NewATMNet builds the switch with n host ports.
@@ -149,11 +139,6 @@ func (a *ATMNet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool
 	wireBytes := AAL5WireBytes(n)
 	if opts.AAL34 {
 		wireBytes = AAL34WireBytes(n)
-	}
-	if opts.Droppable && a.LossRate > 0 && a.s.Rand().Float64() < a.LossRate {
-		a.Dropped++
-		a.up[src].UseAsync(sim.Duration(wireBytes)*a.c.ATMPerByte, nil)
-		return false
 	}
 	wire := sim.Duration(wireBytes) * a.c.ATMPerByte
 	// Outbound SAR on the i960, uplink serialization, switch forwarding,

@@ -8,7 +8,9 @@ import (
 	"repro/internal/sim"
 )
 
-// RUDP header: 1 flag byte, 4-byte sequence, 4-byte cumulative ack.
+// RUDP header: 1 flag byte, 4-byte sequence, 4-byte cumulative ack. Every
+// data frame carries both bits: the sequence it introduces and the ack it
+// piggybacks.
 const rudpHeader = 9
 
 const (
@@ -16,43 +18,87 @@ const (
 	rudpAck  = 2
 )
 
+// Retransmission tuning. The estimator starts from the classic fixed RTO
+// and converges onto Jacobson's srtt + 4*rttvar once samples arrive.
+const (
+	rudpInitialRTO   = 10 * time.Millisecond
+	rudpMinRTO       = 1 * time.Millisecond
+	rudpMaxRTO       = 640 * time.Millisecond
+	rudpDupThreshold = 3 // duplicate cumulative acks before fast retransmit
+)
+
 // RUDP layers reliability over a UDP socket: per-peer sequence numbers,
 // cumulative acknowledgements, timer-driven retransmission, duplicate
 // suppression and in-order delivery — the paper's "additional measures
 // taken to make the UDP communication reliable", whose cost is why its
 // UDP MPI performed like the TCP one.
+//
+// Loss recovery is TCP-shaped: the RTO adapts to measured round trips
+// (Jacobson's estimator, with Karn's rule excluding retransmitted frames
+// from sampling), backs off exponentially across retries, and three
+// duplicate cumulative acks trigger a fast retransmit of the oldest
+// outstanding frame without waiting for the timer. Acks piggyback on every
+// outbound data frame; pure acks are sent immediately by default, or
+// coalesced behind AckDelay when reverse traffic is expected to carry them.
 type RUDP struct {
 	sock *UDP
 	s    *sim.Scheduler
 
 	Window     int          // max unacked datagrams per peer
-	RTO        sim.Duration // retransmission timeout
+	RTO        sim.Duration // initial timeout, before any RTT sample
+	MinRTO     sim.Duration // floor for the adaptive timeout
+	MaxRTO     sim.Duration // ceiling for the backed-off timeout
 	MaxRetries int
+	// AckDelay, when nonzero, withholds pure acks for that long so a data
+	// frame in the reverse direction can carry the ack for free. Zero keeps
+	// the paper's behavior: every delivery is acked through the full UDP
+	// send path immediately.
+	AckDelay sim.Duration
 
 	peers     map[int]*rudpPeer
 	delivered []Datagram
 	arrival   *sim.Cond
+	watchers  []func()
 
 	// Stats.
-	Retransmits int
-	Duplicates  int
+	Retransmits     int // frames re-sent (timer + fast retransmit)
+	FastRetransmits int // re-sends triggered by duplicate acks
+	Duplicates      int // already-delivered data frames received
+	PureAcks        int // ack-only datagrams transmitted
+	PiggybackedAcks int // owed acks satisfied by outbound data frames
 
 	// Err is set if a peer exceeded MaxRetries (the link is declared dead).
 	Err error
 }
 
 type rudpPeer struct {
+	host     int
 	nextSend uint32
 	unacked  map[uint32]*rudpPending
 	nextRecv uint32
 	stash    map[uint32][]byte
+
+	// Jacobson/Karn RTT estimator state (zero until the first sample).
+	srtt, rttvar, rto sim.Duration
+
+	// Fast-retransmit state: the highest cumulative ack seen and how many
+	// times it has repeated without progress.
+	lastAck uint32
+	dupAcks int
+
+	// Delayed-ack state (AckDelay > 0).
+	ackOwed  bool
+	ackTimer bool
 }
 
 type rudpPending struct {
-	frame []byte
-	dst   int
-	tries int
-	acked bool
+	frame  []byte
+	dst    int
+	seq    uint32
+	tries  int
+	acked  bool
+	sentAt sim.Time     // first transmission time, for RTT sampling
+	rto    sim.Duration // current (backed-off) timeout for this frame
 }
 
 // NewRUDP wraps sock with reliability.
@@ -61,7 +107,9 @@ func NewRUDP(sock *UDP) *RUDP {
 		sock:       sock,
 		s:          sock.cl.S,
 		Window:     32,
-		RTO:        10 * time.Millisecond,
+		RTO:        rudpInitialRTO,
+		MinRTO:     rudpMinRTO,
+		MaxRTO:     rudpMaxRTO,
 		MaxRetries: 25,
 		peers:      make(map[int]*rudpPeer),
 		arrival:    sim.NewCond(sock.cl.S),
@@ -72,6 +120,7 @@ func NewRUDP(sock *UDP) *RUDP {
 	sock.OnReadable(func() {
 		r.consumeAcks()
 		r.arrival.Broadcast()
+		r.notify()
 	})
 	return r
 }
@@ -81,15 +130,8 @@ func NewRUDP(sock *UDP) *RUDP {
 func (r *RUDP) consumeAcks() {
 	kept := r.sock.dq[:0]
 	for _, d := range r.sock.dq {
-		if len(d.Data) == rudpHeader && d.Data[0]&rudpAck != 0 {
-			ack := binary.BigEndian.Uint32(d.Data[5:9])
-			pr := r.peer(d.Src)
-			for s, pend := range pr.unacked {
-				if s < ack {
-					pend.acked = true
-					delete(pr.unacked, s)
-				}
-			}
+		if len(d.Data) == rudpHeader && d.Data[0]&rudpData == 0 && d.Data[0]&rudpAck != 0 {
+			r.applyAck(r.peer(d.Src), binary.BigEndian.Uint32(d.Data[5:9]))
 			continue
 		}
 		kept = append(kept, d)
@@ -97,10 +139,115 @@ func (r *RUDP) consumeAcks() {
 	r.sock.dq = kept
 }
 
+// applyAck is the one ack-processing path, shared by the interrupt-level
+// consumer, the syscall-level drain, and piggybacked acks on data frames:
+// clear acknowledged frames below the cumulative ack, sample the RTT, and
+// count duplicate acks toward fast retransmit.
+func (r *RUDP) applyAck(pr *rudpPeer, ack uint32) {
+	progress := false
+	for s, pend := range pr.unacked {
+		if s < ack {
+			pend.acked = true
+			delete(pr.unacked, s)
+			progress = true
+			// Karn's rule: sample only never-retransmitted frames, and only
+			// the one this ack directly covers (at most one per ack, so the
+			// estimator's input order is deterministic).
+			if pend.tries == 0 && pend.seq+1 == ack {
+				r.sampleRTT(pr, sim.Duration(r.s.Now()-pend.sentAt))
+			}
+		}
+	}
+	if ack > pr.lastAck {
+		pr.lastAck = ack
+		pr.dupAcks = 0
+	} else if ack == pr.lastAck && !progress && len(pr.unacked) > 0 {
+		// The peer is repeating itself: frames beyond a hole are landing.
+		pr.dupAcks++
+		if pr.dupAcks == rudpDupThreshold {
+			r.fastRetransmit(pr)
+		}
+	}
+	if progress {
+		r.arrival.Broadcast()
+	}
+}
+
+// sampleRTT folds one round-trip measurement into the peer's estimator
+// (RFC 6298 / Jacobson '88 coefficients) and refreshes its timeout.
+func (r *RUDP) sampleRTT(pr *rudpPeer, sample sim.Duration) {
+	if pr.srtt == 0 {
+		pr.srtt = sample
+		pr.rttvar = sample / 2
+	} else {
+		dev := sample - pr.srtt
+		if dev < 0 {
+			dev = -dev
+		}
+		pr.rttvar += (dev - pr.rttvar) / 4
+		pr.srtt += (sample - pr.srtt) / 8
+	}
+	pr.rto = r.clampRTO(pr.srtt + 4*pr.rttvar)
+}
+
+func (r *RUDP) clampRTO(d sim.Duration) sim.Duration {
+	// The floor must clear the peer's delayed-ack timer, or every message
+	// with no reverse traffic behind it would retransmit spuriously while
+	// the ack sits in the peer's coalescing window (the same reason TCP
+	// keeps its minimum RTO above the delayed-ack timer).
+	min := r.MinRTO
+	if f := 2 * r.AckDelay; f > min {
+		min = f
+	}
+	if d < min {
+		return min
+	}
+	if d > r.MaxRTO {
+		return r.MaxRTO
+	}
+	return d
+}
+
+// rtoFor reports the timeout for a fresh transmission to pr.
+func (r *RUDP) rtoFor(pr *rudpPeer) sim.Duration {
+	if pr.rto == 0 {
+		return r.RTO
+	}
+	return pr.rto
+}
+
+// fastRetransmit re-sends the oldest outstanding frame after three
+// duplicate cumulative acks: the hole they point at is almost certainly
+// lost, and waiting out the timer would idle the window. Runs in whichever
+// context observed the duplicate ack (no process time charged).
+func (r *RUDP) fastRetransmit(pr *rudpPeer) {
+	var oldest *rudpPending
+	for _, pend := range pr.unacked {
+		if oldest == nil || pend.seq < oldest.seq {
+			oldest = pend
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	oldest.tries++ // a retransmission: Karn excludes it from sampling
+	r.Retransmits++
+	r.FastRetransmits++
+	r.restampAck(pr, oldest)
+	r.sock.sendRaw(oldest.dst, oldest.frame)
+	pr.dupAcks = 0
+}
+
+// restampAck refreshes the piggybacked cumulative ack on a frame about to
+// be (re)transmitted.
+func (r *RUDP) restampAck(pr *rudpPeer, pend *rudpPending) {
+	binary.BigEndian.PutUint32(pend.frame[5:9], pr.nextRecv)
+}
+
 func (r *RUDP) peer(h int) *rudpPeer {
 	p, ok := r.peers[h]
 	if !ok {
-		p = &rudpPeer{unacked: make(map[uint32]*rudpPending), stash: make(map[uint32][]byte)}
+		p = &rudpPeer{host: h, unacked: make(map[uint32]*rudpPending), stash: make(map[uint32][]byte)}
 		r.peers[h] = p
 	}
 	return p
@@ -118,40 +265,61 @@ func (r *RUDP) Send(p *sim.Proc, dst int, data []byte) error {
 			r.arrival.Wait(p)
 		}
 	}
+	if r.Err != nil {
+		return r.Err
+	}
 	seq := pr.nextSend
 	pr.nextSend++
 	frame := make([]byte, rudpHeader+len(data))
-	frame[0] = rudpData
+	frame[0] = rudpData | rudpAck
 	binary.BigEndian.PutUint32(frame[1:5], seq)
+	binary.BigEndian.PutUint32(frame[5:9], pr.nextRecv)
 	copy(frame[rudpHeader:], data)
-	pend := &rudpPending{frame: frame, dst: dst}
+	if pr.ackOwed {
+		// The piggybacked ack satisfies what a delayed pure ack owed.
+		pr.ackOwed = false
+		r.PiggybackedAcks++
+	}
+	pend := &rudpPending{frame: frame, dst: dst, seq: seq}
 	pr.unacked[seq] = pend
 	r.sock.SendTo(p, dst, frame)
-	r.armRetransmit(pr, seq, pend)
+	pend.sentAt = r.s.Now()
+	pend.rto = r.rtoFor(pr)
+	r.armRetransmit(pr, pend)
 	return r.Err
 }
 
-// armRetransmit schedules the loss-recovery timer for seq.
-func (r *RUDP) armRetransmit(pr *rudpPeer, seq uint32, pend *rudpPending) {
-	r.s.After(r.RTO, func() {
-		if pend.acked {
+// armRetransmit schedules the loss-recovery timer for pend, backing off
+// exponentially on every expiry until MaxRetries declares the link dead.
+func (r *RUDP) armRetransmit(pr *rudpPeer, pend *rudpPending) {
+	r.s.After(pend.rto, func() {
+		if pend.acked || r.Err != nil {
 			return
 		}
 		pend.tries++
 		if pend.tries > r.MaxRetries {
-			r.Err = fmt.Errorf("rudp: peer %d unreachable after %d retransmissions of seq %d", pend.dst, pend.tries-1, seq)
+			r.Err = fmt.Errorf("rudp: peer %d unreachable after %d retransmissions of seq %d", pend.dst, pend.tries-1, pend.seq)
 			r.arrival.Broadcast()
+			r.notify()
 			return
+		}
+		pend.rto = r.clampRTO(pend.rto * 2)
+		// The connection backs off with its oldest frame, so frames queued
+		// behind an outage do not add their own retransmission storm.
+		if pend.rto > pr.rto {
+			pr.rto = pend.rto
 		}
 		r.Retransmits++
 		// Kernel-timer retransmission: wire costs only, no user syscall.
+		r.restampAck(pr, pend)
 		r.sock.sendRaw(pend.dst, pend.frame)
-		r.armRetransmit(pr, seq, pend)
+		r.armRetransmit(pr, pend)
 	})
 }
 
 // TryRecv drains arrivals and returns one in-order datagram if available,
-// without blocking.
+// without blocking. Remaining delivered data is surfaced before a dead
+// link's error.
 func (r *RUDP) TryRecv(p *sim.Proc, buf []byte) (n, src int, ok bool, err error) {
 	r.drain(p)
 	if len(r.delivered) > 0 {
@@ -165,8 +333,17 @@ func (r *RUDP) TryRecv(p *sim.Proc, buf []byte) (n, src int, ok bool, err error)
 // MaxDatagram reports the largest payload Send accepts.
 func (r *RUDP) MaxDatagram() int { return r.sock.MaxDatagram() - rudpHeader }
 
-// OnArrival registers fn to run when raw datagrams arrive (event context).
-func (r *RUDP) OnArrival(fn func()) { r.sock.OnReadable(fn) }
+// OnArrival registers fn to run when raw datagrams arrive or the link dies
+// (event context) — death must wake pollers just like an arrival, or a
+// blocked Wait would never observe the error.
+func (r *RUDP) OnArrival(fn func()) { r.watchers = append(r.watchers, fn) }
+
+// notify runs the arrival watchers (event context).
+func (r *RUDP) notify() {
+	for _, fn := range r.watchers {
+		fn()
+	}
+}
 
 // Recv blocks for the next in-order datagram from any peer.
 func (r *RUDP) Recv(p *sim.Proc, buf []byte) (int, int, error) {
@@ -188,8 +365,8 @@ func (r *RUDP) Recv(p *sim.Proc, buf []byte) (int, int, error) {
 // drain by the owning proc).
 func (r *RUDP) Readable() bool { return len(r.delivered) > 0 || r.sock.Readable() }
 
-// drain processes every queued raw datagram: data is ordered, deduplicated
-// and acked; acks clear retransmission state.
+// drain processes every queued raw datagram: piggybacked and pure acks go
+// through applyAck; data is ordered, deduplicated and acked.
 func (r *RUDP) drain(p *sim.Proc) {
 	for r.sock.Readable() {
 		buf := make([]byte, r.sock.MaxDatagram())
@@ -202,14 +379,10 @@ func (r *RUDP) drain(p *sim.Proc) {
 		ack := binary.BigEndian.Uint32(buf[5:9])
 		pr := r.peer(src)
 		if flags&rudpAck != 0 {
-			for s, pend := range pr.unacked {
-				if s < ack {
-					pend.acked = true
-					delete(pr.unacked, s)
-				}
-			}
-			r.arrival.Broadcast()
-			continue
+			r.applyAck(pr, ack)
+		}
+		if flags&rudpData == 0 {
+			continue // pure ack
 		}
 		payload := make([]byte, n-rudpHeader)
 		copy(payload, buf[rudpHeader:n])
@@ -231,14 +404,44 @@ func (r *RUDP) drain(p *sim.Proc) {
 		default:
 			pr.stash[seq] = payload
 		}
-		r.sendAck(p, src, pr.nextRecv)
+		r.scheduleAck(p, pr)
 	}
+}
+
+// scheduleAck acknowledges received data: immediately through the full UDP
+// send path (the default, whose syscall cost is the paper's reliable-UDP
+// overhead story), or — with AckDelay — lazily, hoping an outbound data
+// frame will piggyback it first.
+func (r *RUDP) scheduleAck(p *sim.Proc, pr *rudpPeer) {
+	if r.AckDelay == 0 {
+		r.sendAck(p, pr.host, pr.nextRecv)
+		return
+	}
+	pr.ackOwed = true
+	if pr.ackTimer {
+		return
+	}
+	pr.ackTimer = true
+	r.s.After(r.AckDelay, func() {
+		pr.ackTimer = false
+		if !pr.ackOwed {
+			return
+		}
+		// No reverse data carried it: flush a pure ack from timer context.
+		pr.ackOwed = false
+		r.PureAcks++
+		frame := make([]byte, rudpHeader)
+		frame[0] = rudpAck
+		binary.BigEndian.PutUint32(frame[5:9], pr.nextRecv)
+		r.sock.sendRaw(pr.host, frame)
+	})
 }
 
 // sendAck transmits a cumulative ack through the full UDP path: the
 // syscall and protocol costs of acking are exactly the overhead that made
 // the paper's reliable-UDP MPI no faster than TCP.
 func (r *RUDP) sendAck(p *sim.Proc, dst int, cum uint32) {
+	r.PureAcks++
 	frame := make([]byte, rudpHeader)
 	frame[0] = rudpAck
 	binary.BigEndian.PutUint32(frame[5:9], cum)

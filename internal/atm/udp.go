@@ -94,7 +94,10 @@ func (u *UDP) transmit(dst int, data []byte) {
 		}
 		ok := u.med.Deliver(u.host, dst, fragLen+UDPIPHeader, DeliverOpts{Droppable: true}, func() {
 			arrived++
-			if arrived == nfrags && !lost {
+			// Each complete fragment set yields a datagram, so a duplicated
+			// wire frame surfaces as a duplicate datagram (as real IP
+			// reassembly would) instead of being silently absorbed.
+			if arrived%nfrags == 0 && !lost {
 				// Reassembly complete: kernel input processing, then queue.
 				u.cl.S.After(k.UDPPerPacket, func() {
 					peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})

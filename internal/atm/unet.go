@@ -72,24 +72,34 @@ func (u *UNet) SendTo(p *sim.Proc, dst int, data []byte) {
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	src := u.host
+	// U-Net bypasses the Medium interface (no kernel stack), but not the
+	// physical network: partitions and added latency from the fault layer
+	// still apply. Loss/duplication/reordering do not — the dedicated
+	// switch links are flow controlled, lossless and FIFO by construction.
+	drop, extras := u.cl.atmInj.admit(src, dst, false)
+	if drop {
+		return
+	}
 	wire := sim.Duration(AAL5WireBytes(len(data))) * k.ATMPerByte
 	// Outbound SAR, uplink, switch, downlink, inbound SAR — and straight
 	// into the user-mapped receive queue.
-	u.cl.S.After(UNetSARPerPacket, func() {
-		u.cl.Atm.up[src].UseAsync(wire, func() {
-			u.cl.S.After(k.SwitchDelay, func() {
-				u.cl.Atm.down[dst].UseAsync(wire, func() {
-					u.cl.S.After(UNetSARPerPacket, func() {
-						peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
-						peer.readable.Broadcast()
-						for _, fn := range peer.watchers {
-							fn()
-						}
+	for _, extra := range extras {
+		u.cl.S.After(extra+UNetSARPerPacket, func() {
+			u.cl.Atm.up[src].UseAsync(wire, func() {
+				u.cl.S.After(k.SwitchDelay, func() {
+					u.cl.Atm.down[dst].UseAsync(wire, func() {
+						u.cl.S.After(UNetSARPerPacket, func() {
+							peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
+							peer.readable.Broadcast()
+							for _, fn := range peer.watchers {
+								fn()
+							}
+						})
 					})
 				})
 			})
 		})
-	})
+	}
 }
 
 // RecvFrom blocks polling the receive queue for the next message.

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/platform/registry"
+)
+
+// The -faults sweep: how each cluster transport degrades as the fault layer
+// injects datagram loss. TCP segments and U-Net frames ride links whose
+// loss recovery the model deliberately omits (TCP is treated as a reliable
+// stream; the U-Net switch links are flow controlled), so their series are
+// flat baselines; the reliable-UDP curve is the interesting one — its
+// adaptive RTO and fast retransmit absorb the loss at a measurable latency
+// and bandwidth cost.
+
+// FaultsReport is the machine-readable record of one sweep
+// (BENCH_faults.json).
+type FaultsReport struct {
+	Ranks     int             `json:"ranks"`
+	Iters     int             `json:"iters"`
+	FaultSeed int64           `json:"fault_seed"`
+	LossRates []float64       `json:"loss_rates"`
+	Backends  []FaultsBackend `json:"backends"`
+}
+
+// FaultsBackend holds one transport's series across the swept loss rates:
+// 1-byte round-trip latency and 64 KB-chunk streaming bandwidth.
+type FaultsBackend struct {
+	Backend      string    `json:"backend"`
+	LatencyUS    []float64 `json:"latency_us"`
+	BandwidthMBs []float64 `json:"bandwidth_mbs"`
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r FaultsReport) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// faultsSeed pins the fault RNG so the sweep is reproducible run to run.
+const faultsSeed = 42
+
+func faultsRates(full bool) []float64 {
+	if full {
+		return []float64{0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}
+	}
+	return []float64{0, 0.001, 0.01, 0.05}
+}
+
+// Faults sweeps 1-byte latency and bandwidth across injected loss rates on
+// every cluster transport.
+func Faults(o Opts) (FaultsReport, error) {
+	rep := FaultsReport{
+		Ranks:     2,
+		Iters:     o.Iters,
+		FaultSeed: faultsSeed,
+		LossRates: faultsRates(o.Full),
+	}
+	const chunk = 64 * 1024
+	// A handful of round trips would likely dodge a 0.1% loss rate
+	// entirely; scale the iteration counts so retransmission effects are
+	// actually sampled.
+	pingIters := 40 * o.Iters
+	bwIters := 4 * o.Iters
+	for _, tr := range []string{"tcp", "udp", "unet"} {
+		fb := FaultsBackend{Backend: "cluster/" + tr}
+		for _, rate := range rep.LossRates {
+			spec := registry.Spec{
+				Platform:  "cluster",
+				Transport: tr,
+				Ranks:     2,
+				LossRate:  rate,
+				FaultSeed: faultsSeed,
+			}
+			w, err := registry.Build(spec)
+			if err != nil {
+				return rep, fmt.Errorf("%s at loss %g: %v", fb.Backend, rate, err)
+			}
+			lat, err := mpiPingPong(w, 1, pingIters)
+			if err != nil {
+				return rep, fmt.Errorf("%s latency at loss %g: %v", fb.Backend, rate, err)
+			}
+			w, err = registry.Build(spec)
+			if err != nil {
+				return rep, err
+			}
+			bw, err := mpiBandwidth(w, chunk, bwIters)
+			if err != nil {
+				return rep, fmt.Errorf("%s bandwidth at loss %g: %v", fb.Backend, rate, err)
+			}
+			fb.LatencyUS = append(fb.LatencyUS, lat)
+			fb.BandwidthMBs = append(fb.BandwidthMBs, bw)
+		}
+		rep.Backends = append(rep.Backends, fb)
+	}
+	return rep, nil
+}
+
+// FormatFaults renders the sweep as the text tables the CLI prints.
+func FormatFaults(r FaultsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep: injected datagram loss (seed %d, %d iters)\n", r.FaultSeed, r.Iters)
+	b.WriteString("TCP and U-Net frames are not droppable (loss recovery out of model): flat baselines.\n\n")
+	row := func(name string, cells func(fb FaultsBackend) []float64, unit string) {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, rate := range r.LossRates {
+			fmt.Fprintf(&b, "%11s", fmt.Sprintf("%g%%", rate*100))
+		}
+		b.WriteByte('\n')
+		for _, fb := range r.Backends {
+			fmt.Fprintf(&b, "%-24s", fb.Backend)
+			for _, v := range cells(fb) {
+				fmt.Fprintf(&b, "%11.1f", v)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-24s(%s)\n\n", "", unit)
+	}
+	row("1B round trip / loss", func(fb FaultsBackend) []float64 { return fb.LatencyUS }, "us")
+	row("64KB bandwidth / loss", func(fb FaultsBackend) []float64 { return fb.BandwidthMBs }, "MB/s")
+	return b.String()
+}

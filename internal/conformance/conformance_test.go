@@ -62,6 +62,35 @@ func TestClusterUDPWithLoss(t *testing.T) {
 	}
 }
 
+// The hardened reliability stack must pass the full semantic suite at 1%
+// injected loss under a pinned fault seed, so the drop schedule — and any
+// failure — reproduces exactly.
+func TestClusterUDPLossyConformance(t *testing.T) {
+	spec := registry.Spec{Platform: "cluster", Transport: "udp", LossRate: 0.01, FaultSeed: 42}
+	if err := Run(factory(t, spec), seeds[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Collectives layer the same sequencing guarantees many ranks deep;
+// they too must survive a lossy wire.
+func TestClusterUDPLossyCollectives(t *testing.T) {
+	spec := registry.Spec{Platform: "cluster", Transport: "udp", LossRate: 0.01, FaultSeed: 42}
+	if err := CollectiveMatrix(factory(t, spec), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fault knobs only make sense where a fault layer exists: the registry
+// must reject them on non-cluster platforms instead of silently ignoring
+// them.
+func TestFaultsRejectedOffCluster(t *testing.T) {
+	spec := registry.Spec{Platform: "meiko", LossRate: 0.01, Ranks: 2}
+	if _, err := registry.Build(spec); err == nil {
+		t.Fatal("meiko accepted a fault policy it cannot apply")
+	}
+}
+
 // Tight flow control: tiny credit reservations force heavy queuing; the
 // suite must still pass (ordering preserved through the flow layer's
 // pending queues).

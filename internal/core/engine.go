@@ -47,6 +47,11 @@ type Engine struct {
 	// particular call at the receiver.
 	Errors []error
 
+	// fatal is a transport-fatal error (a dead link): once set, every
+	// pending request has been completed with it and every subsequent
+	// operation fails fast instead of parking forever.
+	fatal error
+
 	// Trace, when set, receives a timeline event per protocol action.
 	Trace *trace.Log
 }
@@ -116,6 +121,9 @@ func (e *Engine) BufferDetach() int {
 // communicator context and mode. The returned request completes according
 // to the mode's semantics.
 func (e *Engine) Isend(p *sim.Proc, dst, tag, ctx int, mode Mode, data []byte) (*Request, error) {
+	if e.fatal != nil {
+		return nil, e.fatal
+	}
 	if dst < 0 || dst >= e.size {
 		return nil, Errorf(ErrInternal, "send to invalid rank %d (size %d)", dst, e.size)
 	}
@@ -203,6 +211,9 @@ func (e *Engine) selfSend(p *sim.Proc, req *Request, mode Mode, data []byte) (*R
 // Irecv posts a nonblocking receive into buf matching (src, tag, ctx);
 // src may be AnySource and tag may be AnyTag.
 func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, error) {
+	if e.fatal != nil {
+		return nil, e.fatal
+	}
 	if src != AnySource && (src < 0 || src >= e.size) {
 		return nil, Errorf(ErrInternal, "receive from invalid rank %d (size %d)", src, e.size)
 	}
@@ -434,6 +445,28 @@ func (e *Engine) RecvDataDone(req *Request, env Envelope) {
 // packet arrival. Callable from event context.
 func (e *Engine) Wake() { e.cond.Broadcast() }
 
+// Fatal declares the transport dead: err completes every pending request
+// (so blocked Wait/Test callers observe the failure instead of spinning
+// forever) and fails all subsequent operations. The first fatal error
+// wins; later ones are ignored. Callable from event context.
+func (e *Engine) Fatal(err error) {
+	if e.fatal != nil {
+		return
+	}
+	e.fatal = err
+	e.Errors = append(e.Errors, err)
+	for id, r := range e.pending {
+		if !r.Done() {
+			r.complete(Status{}, err)
+		}
+		delete(e.pending, id)
+	}
+	e.cond.Broadcast()
+}
+
+// FatalErr reports the transport-fatal error, if any.
+func (e *Engine) FatalErr() error { return e.fatal }
+
 // -------------------------------------------------------- completion ops --
 
 // Wait blocks until r completes, making progress while waiting.
@@ -441,6 +474,10 @@ func (e *Engine) Wait(p *sim.Proc, r *Request) (Status, error) {
 	for !r.Done() {
 		e.Progress(p)
 		if r.Done() {
+			break
+		}
+		if e.fatal != nil {
+			r.complete(Status{}, e.fatal)
 			break
 		}
 		e.cond.Wait(p)
@@ -488,6 +525,9 @@ func (e *Engine) Probe(p *sim.Proc, src, tag, ctx int) (Status, error) {
 		if ok {
 			return st, nil
 		}
+		if e.fatal != nil {
+			return Status{}, e.fatal
+		}
 		if e.tr.Pending() {
 			// An arrival raced in while Iprobe charged time; re-poll
 			// instead of parking (parking here would miss its wakeup).
@@ -516,6 +556,9 @@ func (e *Engine) Iprobe(p *sim.Proc, src, tag, ctx int) (Status, bool, error) {
 func (e *Engine) Finalize(p *sim.Proc) {
 	for {
 		e.Progress(p)
+		if e.fatal != nil {
+			return // a dead link never finishes handing off sends
+		}
 		busy := false
 		for _, r := range e.pending {
 			if !r.IsRecv && !r.sent {

@@ -89,6 +89,10 @@ const (
 	ErrReady // ready-mode send arrived before a matching receive was posted
 	ErrBuffer
 	ErrInternal
+	// ErrLinkDown is a dead transport link (e.g. reliable-UDP retransmission
+	// exhaustion): the rank cannot communicate, and every pending and future
+	// operation fails with it.
+	ErrLinkDown
 )
 
 // Error is an MPI-level error carrying one of the MPI error classes.

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// A transport declaring the link dead must complete every pending request
+// with the error — a Wait blocked on a message that can no longer arrive
+// returns instead of hanging forever.
+func TestFatalCompletesPendingRequests(t *testing.T) {
+	w := newWorld(2, 0, 1<<20, 0)
+	linkDown := Errorf(ErrLinkDown, "test link down")
+	w.run(t,
+		func(p *sim.Proc, e *Engine) {
+			req, err := e.Irecv(p, 1, 0, 0, make([]byte, 8))
+			if err != nil {
+				t.Errorf("Irecv: %v", err)
+				return
+			}
+			// The transport notices the dead link from event context while
+			// the application is blocked in Wait.
+			w.s.After(5*time.Millisecond, func() { e.Fatal(linkDown) })
+			if _, err := e.Wait(p, req); !errors.Is(err, linkDown) {
+				t.Errorf("Wait returned %v, want the fatal link error", err)
+			}
+			if p.Now() < sim.Time(5*time.Millisecond) {
+				t.Error("Wait returned before the link died")
+			}
+		},
+		nil, // rank 1 never sends
+	)
+}
+
+// After Fatal, every entry point fails fast with the recorded error rather
+// than queueing work that can never complete.
+func TestFatalFailsFast(t *testing.T) {
+	w := newWorld(2, 0, 1<<20, 0)
+	linkDown := Errorf(ErrLinkDown, "test link down")
+	w.run(t,
+		func(p *sim.Proc, e *Engine) {
+			e.Fatal(linkDown)
+			if _, err := e.Isend(p, 1, 0, 0, ModeStandard, []byte{1}); !errors.Is(err, linkDown) {
+				t.Errorf("Isend after Fatal: %v", err)
+			}
+			if _, err := e.Irecv(p, 1, 0, 0, make([]byte, 4)); !errors.Is(err, linkDown) {
+				t.Errorf("Irecv after Fatal: %v", err)
+			}
+			if _, err := e.Probe(p, 1, 0, 0); !errors.Is(err, linkDown) {
+				t.Errorf("Probe after Fatal: %v", err)
+			}
+		},
+		nil,
+	)
+}
+
+// Fatal is set-once: a second declaration must not mask the first error.
+func TestFatalSetOnce(t *testing.T) {
+	w := newWorld(1, 0, 1<<20, 0)
+	first := Errorf(ErrLinkDown, "first failure")
+	w.run(t, func(p *sim.Proc, e *Engine) {
+		e.Fatal(first)
+		e.Fatal(Errorf(ErrLinkDown, "second failure"))
+		if !errors.Is(e.FatalErr(), first) {
+			t.Errorf("FatalErr = %v, want the first declaration", e.FatalErr())
+		}
+		if len(e.Errors) != 1 {
+			t.Errorf("Errors grew to %d entries; repeat Fatal should be a no-op", len(e.Errors))
+		}
+	})
+}
+
+// The typed error carries ErrLinkDown so callers can branch on the cause.
+func TestFatalErrorCode(t *testing.T) {
+	w := newWorld(1, 0, 1<<20, 0)
+	w.run(t, func(p *sim.Proc, e *Engine) {
+		e.Fatal(Errorf(ErrLinkDown, "peer 1 unreachable"))
+		var ce *Error
+		if !errors.As(e.FatalErr(), &ce) || ce.Code != ErrLinkDown {
+			t.Errorf("fatal error %v does not expose ErrLinkDown", e.FatalErr())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,6 +27,14 @@ type Report struct {
 	// (e.g. a ready-mode send that arrived before its receive was posted)
 	// — erroneous-program conditions MPI cannot attach to a call.
 	Protocol []error
+}
+
+// IsLinkDown reports whether err carries the typed link-failure code a
+// transport raises when a peer becomes unreachable — the one failure an
+// application may want to distinguish from its own bugs.
+func IsLinkDown(err error) bool {
+	var ce *core.Error
+	return errors.As(err, &ce) && ce.Code == core.ErrLinkDown
 }
 
 // FirstErr reports the first per-rank error, if any.

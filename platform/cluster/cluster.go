@@ -63,13 +63,24 @@ type Config struct {
 	// Bcast forces the broadcast algorithm; the default (BcastAuto) lets
 	// the collective layer select by message and communicator size.
 	Bcast mpi.BcastAlg
-	// LossRate injects datagram loss (UDP transport only).
+	// LossRate injects datagram loss — shorthand for Faults{Loss: rate}.
 	LossRate float64
+	// Faults installs a full fault policy on both media (loss, delay,
+	// jitter, reordering, duplication, partitions; see atm.Faults). When
+	// both Faults and LossRate are set, Faults wins.
+	Faults *atm.Faults
 	// TCPNagle disables the implicit TCP_NODELAY: connections run with
 	// Nagle coalescing and delayed acks, the configuration every
 	// low-latency MPI of the era had to turn off. For the ablation.
 	TCPNagle bool
-	Seed     int64
+	// RUDPMaxRetries overrides the reliable-UDP retry budget before a link
+	// is declared dead (0 = the layer's default; tests shorten it).
+	RUDPMaxRetries int
+	// RUDPAckDelay enables delayed acks on the reliable-UDP layer: pure
+	// acks wait this long for reverse data to piggyback them (0 = ack
+	// immediately, the paper's measured configuration).
+	RUDPAckDelay sim.Duration
+	Seed         int64
 }
 
 // DefaultEager is the cluster crossover: socket round trips cost ~1 ms, so
@@ -83,6 +94,14 @@ const DefaultCredit = 64 * 1024
 
 // NewWorld builds the cluster and per-rank endpoints for cfg.
 func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
+	w, cl, err := newWorld(cfg)
+	if err != nil {
+		panic(err) // direct Config construction with an invalid fault policy
+	}
+	return w, cl
+}
+
+func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 	s := sim.NewScheduler(cfg.Seed + 1)
 	s.MaxEvents = 500_000_000
 	costs := atm.DefaultCosts()
@@ -90,9 +109,14 @@ func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
 		costs = *cfg.Costs
 	}
 	cl := atm.NewCluster(s, cfg.Hosts, costs)
-	if cfg.LossRate > 0 {
-		cl.Eth.LossRate = cfg.LossRate
-		cl.Atm.LossRate = cfg.LossRate
+	faults := cfg.Faults
+	if faults == nil && cfg.LossRate > 0 {
+		faults = &atm.Faults{Seed: cfg.Seed, Loss: cfg.LossRate}
+	}
+	if faults != nil {
+		if err := cl.SetFaults(*faults); err != nil {
+			return nil, nil, err
+		}
 	}
 	eager := cfg.Eager
 	if eager == 0 {
@@ -127,7 +151,12 @@ func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
 		}
 	} else if cfg.Transport == UDP {
 		for i := 0; i < n; i++ {
-			trs[i].attachDgram(atm.NewRUDP(cl.UDPSocket(i, cfg.Network)))
+			r := atm.NewRUDP(cl.UDPSocket(i, cfg.Network))
+			if cfg.RUDPMaxRetries > 0 {
+				r.MaxRetries = cfg.RUDPMaxRetries
+			}
+			r.AckDelay = cfg.RUDPAckDelay
+			trs[i].attachDgram(r)
 		}
 	} else {
 		for i := 0; i < n; i++ {
@@ -137,7 +166,7 @@ func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
 
 	w := mpi.NewWorld(s, eps)
 	w.Bcast = cfg.Bcast // BcastAuto defers to the collective layer's selector
-	return w, cl
+	return w, cl, nil
 }
 
 // Run executes body as an MPI job on the configured cluster.

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/mpi"
+)
+
+// A permanently severed link must surface as a typed MPI error at every
+// rank with traffic in flight — not as a simulation deadlock. Both ranks
+// send first so both reliability endpoints have undeliverable frames and
+// both observe the death.
+func TestDeadLinkSurfacesTypedError(t *testing.T) {
+	rep, err := Run(Config{
+		Hosts: 2, Transport: UDP, Network: atm.OverATM,
+		RUDPMaxRetries: 3,
+		Faults:         &atm.Faults{Partitions: []atm.Partition{{A: 0, B: 1}}},
+	}, func(c *mpi.Comm) error {
+		if err := c.Send(1-c.Rank(), 0, []byte{1}); err != nil {
+			return err
+		}
+		_, err := c.Recv(1-c.Rank(), 0, make([]byte, 4))
+		return err
+	})
+	if err == nil {
+		t.Fatal("job over a severed link finished without error")
+	}
+	if !mpi.IsLinkDown(err) {
+		t.Fatalf("error %v is not the typed link-down failure", err)
+	}
+	for r, e := range rep.Errs {
+		if e == nil {
+			t.Errorf("rank %d finished cleanly over a severed link", r)
+		} else if !mpi.IsLinkDown(e) {
+			t.Errorf("rank %d failed with %v, want link-down", r, e)
+		}
+	}
+}
+
+// A partition that heals is an outage, not a death: retransmission bridges
+// it and the job completes with correct data.
+func TestPartitionOutageHealsTransparently(t *testing.T) {
+	const size = 4096
+	_, err := Run(Config{
+		Hosts: 2, Transport: UDP, Network: atm.OverATM,
+		Faults: &atm.Faults{Partitions: []atm.Partition{
+			{A: 0, B: 1, From: time.Millisecond, Until: 40 * time.Millisecond},
+		}},
+	}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i * 5)
+			}
+			return c.Send(1, 0, data)
+		}
+		buf := make([]byte, size)
+		if _, err := c.Recv(0, 0, buf); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i*5) {
+				t.Errorf("corrupt byte %d after outage", i)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An added link delay fault must show up in the measured round trip —
+// proof the injector sits under MPI, not beside it.
+func TestDelayFaultStretchesRTT(t *testing.T) {
+	base := pingPong(t, Config{Transport: UDP, Network: atm.OverATM}, 1, 5)
+	const oneWay = 2 * time.Millisecond
+	slowed := pingPong(t, Config{
+		Transport: UDP, Network: atm.OverATM,
+		Faults: &atm.Faults{Delay: oneWay},
+	}, 1, 5)
+	if d := slowed - base; d < 2*oneWay*9/10 {
+		t.Fatalf("2ms one-way delay fault stretched the RTT by only %v", d)
+	}
+}
+
+// Messages stay intact and ordered under combined reordering and
+// duplication — the reliability layer's sequencing absorbs both.
+func TestReorderDuplicateStillCorrect(t *testing.T) {
+	const msgs = 20
+	_, err := Run(Config{
+		Hosts: 2, Transport: UDP, Network: atm.OverATM,
+		Faults: &atm.Faults{Seed: 9, Reorder: 0.3, Duplicate: 0.3},
+	}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, i, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			buf := make([]byte, 4)
+			if _, err := c.Recv(0, i, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				t.Errorf("msg %d carried %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An invalid fault policy is rejected at world construction, not at the
+// first mangled frame.
+func TestInvalidFaultPolicyRejected(t *testing.T) {
+	_, _, err := newWorld(Config{
+		Hosts: 2, Transport: UDP, Network: atm.OverATM,
+		Faults: &atm.Faults{Loss: 1.5},
+	})
+	if err == nil {
+		t.Fatal("out-of-range loss probability accepted")
+	}
+}

@@ -21,8 +21,8 @@ func init() {
 			if kind == UNET && cfg.Network != atm.OverATM {
 				return nil, fmt.Errorf("cluster/unet: the U-Net endpoint exists only on the ATM fabric (network %q)", s.Network)
 			}
-			w, _ := NewWorld(cfg)
-			return w, nil
+			w, _, err := newWorld(cfg)
+			return w, err
 		})
 	}
 	register("cluster/tcp", TCP)
@@ -38,9 +38,32 @@ func specConfig(s registry.Spec) (Config, error) {
 		Eager:       s.Eager,
 		CreditBytes: s.Credit,
 		Bcast:       s.Bcast,
-		LossRate:    s.LossRate,
 		TCPNagle:    s.TCPNagle,
 		Seed:        s.Seed,
+	}
+	if s.HasFaults() {
+		parts, err := atm.ParsePartitions(s.Partition)
+		if err != nil {
+			return Config{}, fmt.Errorf("cluster: %v", err)
+		}
+		seed := s.FaultSeed
+		if seed == 0 {
+			seed = s.Seed
+		}
+		f := &atm.Faults{
+			Seed:       seed,
+			Loss:       s.LossRate,
+			DropEveryN: s.DropEveryN,
+			Delay:      s.Delay,
+			Jitter:     s.Jitter,
+			Reorder:    s.Reorder,
+			Duplicate:  s.Duplicate,
+			Partitions: parts,
+		}
+		if err := f.Validate(); err != nil {
+			return Config{}, fmt.Errorf("cluster: %v", err)
+		}
+		cfg.Faults = f
 	}
 	switch s.Network {
 	case "", "atm":

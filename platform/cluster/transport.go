@@ -176,8 +176,19 @@ func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env c
 	// Datagram modes: one datagram per message; oversized payloads are
 	// chunked by the caller before reaching here.
 	if err := t.dgram.Send(p, dst, frame); err != nil {
-		t.eng.Errors = append(t.eng.Errors, err)
+		t.fail(err)
 	}
+}
+
+// fail declares the transport dead: the error (typed ErrLinkDown unless the
+// link already produced an MPI error) completes every pending request and
+// fails all subsequent operations, so Wait callers see the failure instead
+// of hanging on a link that will never deliver.
+func (t *transport) fail(err error) {
+	if _, ok := err.(*core.Error); !ok {
+		err = core.Errorf(core.ErrLinkDown, "cluster/%s rank %d: %v", t.kind, t.rank, err)
+	}
+	t.eng.Fatal(err)
 }
 
 // transmit ships one protocol message whose flow control has cleared:
@@ -460,7 +471,7 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 	buf := make([]byte, t.dgram.MaxDatagram())
 	n, _, ok, err := t.dgram.TryRecv(p, buf)
 	if err != nil {
-		t.eng.Errors = append(t.eng.Errors, err)
+		t.fail(err)
 	}
 	if !ok {
 		return false

@@ -45,10 +45,26 @@ type Spec struct {
 	// Ablation knobs, threaded to the platform configs.
 	Coll          string       // collective tuning, "op=alg,..." (see coll.ParseTuning; "" = auto-select)
 	Bcast         mpi.BcastAlg // broadcast algorithm override (BcastAuto = platform default)
-	LossRate      float64      // cluster: datagram loss injection (UDP)
+	LossRate      float64      // cluster: datagram loss probability per frame
 	TCPNagle      bool         // cluster: leave Nagle/delayed acks on (no TCP_NODELAY)
 	FatTree       bool         // meiko: staged fat-tree congestion model
 	EnvelopeSlots int          // meiko: per-pair envelope slots (0 = the paper's 1)
+
+	// Fault-injection knobs (cluster only; see atm.Faults). Together with
+	// LossRate these drive the shared fault layer wrapping both media.
+	Delay      time.Duration // cluster: fixed one-way latency added per frame
+	Jitter     time.Duration // cluster: extra uniform latency in [0, Jitter)
+	Reorder    float64       // cluster: per-frame reordering probability
+	Duplicate  float64       // cluster: per-frame duplication probability
+	DropEveryN int           // cluster: deterministically drop every Nth frame
+	Partition  string        // cluster: partition schedule (atm.ParsePartitions)
+	FaultSeed  int64         // cluster: fault RNG seed (0 = derive from Seed)
+}
+
+// HasFaults reports whether any fault-injection knob is set.
+func (s Spec) HasFaults() bool {
+	return s.LossRate > 0 || s.Delay > 0 || s.Jitter > 0 || s.Reorder > 0 ||
+		s.Duplicate > 0 || s.DropEveryN > 0 || s.Partition != ""
 }
 
 // Key reports the registry name this spec resolves to.
@@ -129,6 +145,9 @@ func Build(s Spec) (*mpi.World, error) {
 	}
 	if s.Ranks <= 0 {
 		return nil, fmt.Errorf("backend %q: spec needs Ranks >= 1, got %d", s.Key(), s.Ranks)
+	}
+	if s.HasFaults() && s.Platform != "cluster" {
+		return nil, fmt.Errorf("backend %q: fault injection (loss/delay/reorder/partition) exists only on the cluster platform", s.Key())
 	}
 	w, err := b(s)
 	if err != nil {
