@@ -30,6 +30,7 @@ func main() {
 	anchors := flag.Bool("anchors", false, "print the calibration-anchor comparison")
 	collectives := flag.Bool("collectives", false, "sweep every collective algorithm across sizes and derive crossovers")
 	faults := flag.Bool("faults", false, "sweep latency and bandwidth across injected loss rates on every cluster transport")
+	matchbench := flag.Bool("matchbench", false, "run the receive-matching microbenchmarks (indexed vs linear, allocation profile)")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
@@ -37,6 +38,8 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_anchors.json", "with -anchors: write the machine-readable record here (\"\" disables)")
 	collJSONPath := flag.String("colljson", "BENCH_collectives.json", "with -collectives: write the machine-readable record here (\"\" disables)")
 	faultsJSONPath := flag.String("faultsjson", "BENCH_faults.json", "with -faults: write the machine-readable record here (\"\" disables)")
+	matchJSONPath := flag.String("matchjson", "BENCH_match.json", "with -matchbench: write the machine-readable record here (\"\" disables)")
+	matchBaseline := flag.String("matchbaseline", "", "with -matchbench: compare against this committed baseline and exit nonzero on >10% regression")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -76,8 +79,9 @@ func main() {
 		*anchors = true
 		*collectives = true
 		*faults = true
+		*matchbench = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench {
 		flag.Usage()
 		return
 	}
@@ -176,6 +180,45 @@ func main() {
 				log.Fatal(err)
 			}
 			log.Printf("wrote %s", *faultsJSONPath)
+		}
+	}
+
+	if *matchbench {
+		// Read the baseline before writing the fresh record, so the gate can
+		// compare and overwrite the same path (CI uploads the fresh copy as
+		// an artifact).
+		var base *bench.MatchReport
+		if *matchBaseline != "" {
+			data, err := os.ReadFile(*matchBaseline)
+			if err != nil {
+				log.Fatalf("matchbench baseline: %v", err)
+			}
+			b, err := bench.UnmarshalMatch(data)
+			if err != nil {
+				log.Fatalf("matchbench baseline: %v", err)
+			}
+			base = &b
+		}
+		rep, err := bench.MatchBench(o)
+		if err != nil {
+			log.Fatalf("matchbench: %v", err)
+		}
+		fmt.Println(bench.FormatMatch(rep))
+		if *matchJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("matchbench json: %v", err)
+			}
+			if err := os.WriteFile(*matchJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *matchJSONPath)
+		}
+		if fails := bench.CheckMatch(rep, base, 0.10); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("matchbench regression: %s", f)
+			}
+			os.Exit(1)
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/core"
 	"repro/mpi"
 	"repro/platform/registry"
 
@@ -34,7 +35,7 @@ func main() {
 
 	n := *ranks
 	payload := *size
-	_, err = mpi.Launch(w, func(c *mpi.Comm) error {
+	rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
 		// A short pipeline: each rank sends to the next, the last replies
 		// to rank 0 — enough traffic to show sends, arrivals, matches and
 		// completions interleaving.
@@ -71,5 +72,17 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	}
+
+	// Receive-path internals from the merged books: matcher queue depths
+	// (job-wide high-water marks) and buffer-pool effectiveness.
+	cnt := rep.Acct.Count
+	fmt.Println("\nReceive path:")
+	fmt.Printf("  posted queue high-water     %d\n", cnt["match.posted-max"])
+	fmt.Printf("  unexpected queue high-water %d\n", cnt["match.unexpected-max"])
+	hits, misses := cnt[core.PoolHit], cnt[core.PoolMiss]
+	if hits+misses > 0 {
+		fmt.Printf("  buffer pool                 %d hits / %d misses (%.0f%%), %d bytes recycled\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses), cnt[core.PoolRecycled])
 	}
 }

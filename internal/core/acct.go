@@ -64,6 +64,15 @@ func (a *Acct) Incr(name string, n int64) {
 	}
 }
 
+// SetMax raises the gauge name to v when v exceeds its current value.
+// High-water gauges (names ending in "-max", e.g. the matcher queue
+// depths) merge by maximum rather than by sum.
+func (a *Acct) SetMax(name string, v int64) {
+	if a != nil && v > a.Count[name] {
+		a.Count[name] = v
+	}
+}
+
 // Total reports the sum of all booked time.
 func (a *Acct) Total() sim.Duration {
 	var t sim.Duration
@@ -82,7 +91,14 @@ func (a *Acct) Merge(other *Acct) {
 		a.Time[k] += v
 	}
 	for k, v := range other.Count {
-		a.Count[k] += v
+		if strings.HasSuffix(k, "-max") {
+			// High-water gauges: the job-wide value is the per-rank maximum.
+			if v > a.Count[k] {
+				a.Count[k] = v
+			}
+		} else {
+			a.Count[k] += v
+		}
 	}
 }
 

@@ -38,6 +38,16 @@ type Engine struct {
 	seq     map[int]uint64 // per-destination envelope sequence
 	pending map[int64]*Request
 
+	// Receive-path recycling: pool feeds self-send bounce buffers (and is
+	// available to the transport), inFree recycles unexpected-queue nodes,
+	// and scratch carries a matched-on-arrival message through
+	// deliverMatched without heap-allocating it. scratch reuse is safe
+	// because only the rank's own proc runs the arrival path and no
+	// transport retains the *InMsg past Accept.
+	pool    *BufPool
+	inFree  []*InMsg
+	scratch InMsg
+
 	// Buffered-send (Bsend) space accounting.
 	bufCap  int
 	bufUsed int
@@ -84,7 +94,33 @@ func NewEngine(s *sim.Scheduler, rank, size int, costs EngineCosts, acct *Acct) 
 		cond:    sim.NewCond(s),
 		seq:     make(map[int]uint64),
 		pending: make(map[int64]*Request),
+		pool:    NewBufPool(acct),
 	}
+}
+
+// Pool exposes the engine's buffer pool so its transport can draw bounce
+// buffers and frames from the same recycled storage.
+func (e *Engine) Pool() *BufPool { return e.pool }
+
+// newInMsg draws an unexpected-queue node from the freelist.
+func (e *Engine) newInMsg() *InMsg {
+	if n := len(e.inFree); n > 0 {
+		m := e.inFree[n-1]
+		e.inFree[n-1] = nil
+		e.inFree = e.inFree[:n-1]
+		return m
+	}
+	return &InMsg{}
+}
+
+// freeInMsg recycles a node the matcher handed back; callers must be done
+// with every field (the bounce payload has been recycled separately).
+func (e *Engine) freeInMsg(m *InMsg) {
+	if m == nil || m == &e.scratch {
+		return
+	}
+	*m = InMsg{}
+	e.inFree = append(e.inFree, m)
 }
 
 // SetTransport attaches the platform transport; must be called before use.
@@ -183,7 +219,7 @@ func (e *Engine) Isend(p *sim.Proc, dst, tag, ctx int, mode Mode, data []byte) (
 // a memory copy through the matcher. All modes are locally complete except
 // synchronous, which still requires the matching receive.
 func (e *Engine) selfSend(p *sim.Proc, req *Request, mode Mode, data []byte) (*Request, error) {
-	stable := make([]byte, len(data))
+	stable := e.pool.Get(len(data))
 	copy(stable, data)
 	e.acct.Charge(p, CostCopy, e.costs.CopyBase+sim.Duration(len(data))*e.costs.CopyPerByte)
 	req.sent = true
@@ -194,12 +230,16 @@ func (e *Engine) selfSend(p *sim.Proc, req *Request, mode Mode, data []byte) (*R
 	e.acct.Charge(p, CostMatch, e.costs.Match)
 	e.trc(trace.Arrive, env.Source, env.Tag, env.Count, "self")
 	if rr := e.match.Arrive(env); rr != nil {
-		e.deliverMatched(p, &InMsg{Env: env, Data: stable}, rr)
+		e.scratch = InMsg{Env: env, Data: stable, Pool: e.pool}
+		e.deliverMatched(p, &e.scratch, rr)
 	} else {
 		if mode == ModeReady {
 			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode self-send (tag %d) before a matching receive was posted", env.Tag))
 		}
-		e.match.AddUnexpected(&InMsg{Env: env, Data: stable})
+		m := e.newInMsg()
+		m.Env, m.Data, m.Pool = env, stable, e.pool
+		e.match.AddUnexpected(m)
+		e.acct.SetMax("match.unexpected-max", int64(e.match.UnexpectedLen()))
 	}
 	req.sendMaybeComplete()
 	e.retire(req)
@@ -236,6 +276,9 @@ func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, er
 
 	if msg := e.match.PostRecv(req); msg != nil {
 		e.deliverMatched(p, msg, req)
+		e.freeInMsg(msg)
+	} else {
+		e.acct.SetMax("match.posted-max", int64(e.match.PostedLen()))
 	}
 	return req, nil
 }
@@ -276,6 +319,12 @@ func (e *Engine) deliverMatched(p *sim.Proc, msg *InMsg, req *Request) {
 			e.tr.Control(p, msg.Env.Source, PktSyncAck, msg.Env)
 		}
 	}
+	if msg.Pool != nil {
+		// The bounce buffer has been copied out; recycle it. No virtual
+		// time is charged — pooling is a host-side optimization.
+		msg.Pool.Put(msg.Data)
+		msg.Data, msg.Pool = nil, nil
+	}
 	req.complete(st, err)
 	e.retire(req)
 	e.trc(trace.RecvDone, st.Source, st.Tag, st.Count, "")
@@ -310,27 +359,36 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 		e.acct.Charge(p, CostMatch, e.costs.Match)
 		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "eager")
 		if req := e.match.Arrive(pkt.Env); req != nil {
-			e.deliverMatched(p, &InMsg{Env: pkt.Env, Data: pkt.Data}, req)
+			// Matched on arrival: deliver through the reusable scratch node
+			// so the hot path performs no allocation.
+			e.scratch = InMsg{Env: pkt.Env, Data: pkt.Data, Pool: pkt.Pool}
+			e.deliverMatched(p, &e.scratch, req)
 			return
 		}
 		if pkt.Env.Mode == ModeReady {
 			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode send from rank %d (tag %d) arrived before a matching receive was posted", pkt.Env.Source, pkt.Env.Tag))
 		}
-		e.match.AddUnexpected(&InMsg{Env: pkt.Env, Data: pkt.Data})
+		m := e.newInMsg()
+		m.Env, m.Data, m.Pool = pkt.Env, pkt.Data, pkt.Pool
+		e.match.AddUnexpected(m)
+		e.acct.SetMax("match.unexpected-max", int64(e.match.UnexpectedLen()))
 	case PktRTS:
 		e.acct.Charge(p, CostMatch, e.costs.Match)
 		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rts")
-		msg := &InMsg{Env: pkt.Env, Rndv: true, Handle: pkt.Handle}
 		if req := e.match.Arrive(pkt.Env); req != nil {
 			req.matched = true
 			e.trc(trace.Match, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rndv")
-			e.tr.Accept(p, msg, req)
+			e.scratch = InMsg{Env: pkt.Env, Rndv: true, Handle: pkt.Handle}
+			e.tr.Accept(p, &e.scratch, req)
 			return
 		}
 		if pkt.Env.Mode == ModeReady {
 			e.Errors = append(e.Errors, Errorf(ErrReady, "ready-mode send from rank %d (tag %d) arrived before a matching receive was posted", pkt.Env.Source, pkt.Env.Tag))
 		}
-		e.match.AddUnexpected(msg)
+		m := e.newInMsg()
+		m.Env, m.Rndv, m.Handle = pkt.Env, true, pkt.Handle
+		e.match.AddUnexpected(m)
+		e.acct.SetMax("match.unexpected-max", int64(e.match.UnexpectedLen()))
 	case PktCTS:
 		req := e.pending[pkt.ReqID]
 		if req == nil {
@@ -370,6 +428,10 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 				n = len(req.Buf)
 			}
 			copy(req.Buf[:n], pkt.Data[:n])
+			if pkt.Pool != nil {
+				pkt.Pool.Put(pkt.Data)
+				pkt.Data = nil
+			}
 		}
 		e.finishRecvData(req, pkt.Env)
 	default:
@@ -515,7 +577,10 @@ func (e *Engine) Cancel(p *sim.Proc, r *Request) error {
 }
 
 // Probe blocks until a message matching (src, tag, ctx) is queued, and
-// reports its envelope without receiving it.
+// reports its envelope without receiving it. Like MPI_Probe, it observes
+// only the unexpected queue: a message already matched to a posted
+// receive is in delivery and deliberately invisible here (see
+// Matcher.Probe).
 func (e *Engine) Probe(p *sim.Proc, src, tag, ctx int) (Status, error) {
 	for {
 		st, ok, err := e.Iprobe(p, src, tag, ctx)
@@ -537,8 +602,9 @@ func (e *Engine) Probe(p *sim.Proc, src, tag, ctx int) (Status, error) {
 	}
 }
 
-// Iprobe makes progress and reports whether a matching message is queued.
-// The matching charge is paid before draining arrivals: time consumed
+// Iprobe makes progress and reports whether a matching message is queued
+// in the unexpected queue (posted-receive state is invisible, as for
+// Probe). The matching charge is paid before draining arrivals: time consumed
 // after the drain would open a lost-wakeup window for callers that park
 // when the probe fails.
 func (e *Engine) Iprobe(p *sim.Proc, src, tag, ctx int) (Status, bool, error) {

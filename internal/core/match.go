@@ -5,23 +5,15 @@ package core
 // rendezvous envelope (RTS) whose payload is still at the sender.
 type InMsg struct {
 	Env    Envelope
-	Data   []byte // eager payload (bounce buffer); nil for rendezvous RTS
-	Rndv   bool   // true when this is an RTS awaiting Accept
-	Handle any    // transport cookie for Accept (e.g. connection, slot id)
-}
-
-// Matcher implements MPI's matching semantics for one rank: an ordered
-// posted-receive queue and an ordered unexpected-message queue. MPI requires
-// non-overtaking delivery — two messages from the same source on the same
-// communicator match receives in send order — which falls out of scanning
-// both queues strictly in arrival/post order.
-type Matcher struct {
-	posted     []*Request
-	unexpected []*InMsg
+	Data   []byte   // eager payload (bounce buffer); nil for rendezvous RTS
+	Rndv   bool     // true when this is an RTS awaiting Accept
+	Handle any      // transport cookie for Accept (e.g. connection, slot id)
+	Pool   *BufPool // owner of Data, for recycling after the bounce copy; nil if unpooled
 }
 
 // envMatches reports whether a posted receive pattern (src, tag, ctx)
-// accepts envelope e.
+// accepts envelope e. The context is never a wildcard; source and tag may
+// each be AnySource/AnyTag.
 func envMatches(e Envelope, src, tag, ctx int) bool {
 	if e.Context != ctx {
 		return false
@@ -35,10 +27,26 @@ func envMatches(e Envelope, src, tag, ctx int) bool {
 	return true
 }
 
+// LinearMatcher is the reference implementation of MPI's matching
+// semantics for one rank: an ordered posted-receive queue and an ordered
+// unexpected-message queue, both scanned linearly. MPI requires
+// non-overtaking delivery — two messages from the same source on the same
+// communicator match receives in send order — which falls out of scanning
+// both queues strictly in arrival/post order.
+//
+// The engine's hot path uses the indexed Matcher instead; LinearMatcher is
+// kept as the oracle the differential and fuzz tests (and the -matchbench
+// speedup baseline) compare against. Both types expose the identical
+// method set, so either satisfies matchQueue.
+type LinearMatcher struct {
+	posted     []*Request
+	unexpected []*InMsg
+}
+
 // PostRecv registers r and returns the earliest unexpected message that
 // matches it, removing that message from the queue; it returns nil when no
 // unexpected message matches, leaving r posted.
-func (m *Matcher) PostRecv(r *Request) *InMsg {
+func (m *LinearMatcher) PostRecv(r *Request) *InMsg {
 	for i, msg := range m.unexpected {
 		if envMatches(msg.Env, r.Env.Source, r.Env.Tag, r.Env.Context) {
 			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
@@ -53,7 +61,7 @@ func (m *Matcher) PostRecv(r *Request) *InMsg {
 // and returning the earliest matching receive. When nothing matches it
 // returns nil; the caller is responsible for queueing the message as
 // unexpected (via AddUnexpected) if it should be retained.
-func (m *Matcher) Arrive(env Envelope) *Request {
+func (m *LinearMatcher) Arrive(env Envelope) *Request {
 	for i, r := range m.posted {
 		if envMatches(env, r.Env.Source, r.Env.Tag, r.Env.Context) {
 			m.posted = append(m.posted[:i], m.posted[i+1:]...)
@@ -64,13 +72,15 @@ func (m *Matcher) Arrive(env Envelope) *Request {
 }
 
 // AddUnexpected appends msg to the unexpected queue in arrival order.
-func (m *Matcher) AddUnexpected(msg *InMsg) {
+func (m *LinearMatcher) AddUnexpected(msg *InMsg) {
 	m.unexpected = append(m.unexpected, msg)
 }
 
 // Probe returns the earliest unexpected message matching (src, tag, ctx)
-// without removing it, or nil.
-func (m *Matcher) Probe(src, tag, ctx int) *InMsg {
+// without removing it, or nil. Like MPI_Probe, it sees only the
+// unexpected queue: a message already matched to a posted receive is in
+// delivery and no longer probe-visible (see Matcher.Probe).
+func (m *LinearMatcher) Probe(src, tag, ctx int) *InMsg {
 	for _, msg := range m.unexpected {
 		if envMatches(msg.Env, src, tag, ctx) {
 			return msg
@@ -81,7 +91,7 @@ func (m *Matcher) Probe(src, tag, ctx int) *InMsg {
 
 // CancelRecv removes a posted receive, reporting whether it was still
 // queued (i.e. not yet matched).
-func (m *Matcher) CancelRecv(r *Request) bool {
+func (m *LinearMatcher) CancelRecv(r *Request) bool {
 	for i, q := range m.posted {
 		if q == r {
 			m.posted = append(m.posted[:i], m.posted[i+1:]...)
@@ -92,5 +102,7 @@ func (m *Matcher) CancelRecv(r *Request) bool {
 }
 
 // PostedLen and UnexpectedLen expose queue depths for tests and stats.
-func (m *Matcher) PostedLen() int     { return len(m.posted) }
-func (m *Matcher) UnexpectedLen() int { return len(m.unexpected) }
+func (m *LinearMatcher) PostedLen() int { return len(m.posted) }
+
+// UnexpectedLen reports the unexpected-queue depth.
+func (m *LinearMatcher) UnexpectedLen() int { return len(m.unexpected) }

@@ -33,149 +33,200 @@ func TestEnvMatchesWildcards(t *testing.T) {
 }
 
 func TestMatcherPostThenArrive(t *testing.T) {
-	var m Matcher
-	r := recvReq(0, 5, 1)
-	if got := m.PostRecv(r); got != nil {
-		t.Fatalf("PostRecv returned %v on empty queue", got)
-	}
-	if got := m.Arrive(Envelope{Source: 0, Tag: 5, Context: 1}); got != r {
-		t.Fatalf("Arrive = %v, want posted request", got)
-	}
-	if m.PostedLen() != 0 {
-		t.Fatalf("posted queue not drained")
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		r := recvReq(0, 5, 1)
+		if got := m.PostRecv(r); got != nil {
+			t.Fatalf("PostRecv returned %v on empty queue", got)
+		}
+		if got := m.Arrive(Envelope{Source: 0, Tag: 5, Context: 1}); got != r {
+			t.Fatalf("Arrive = %v, want posted request", got)
+		}
+		if m.PostedLen() != 0 {
+			t.Fatalf("posted queue not drained")
+		}
+	})
 }
 
 func TestMatcherUnexpectedThenPost(t *testing.T) {
-	var m Matcher
-	msg := &InMsg{Env: Envelope{Source: 2, Tag: 9, Context: 0}}
-	if m.Arrive(msg.Env) != nil {
-		t.Fatal("Arrive matched with nothing posted")
-	}
-	m.AddUnexpected(msg)
-	if got := m.PostRecv(recvReq(AnySource, 9, 0)); got != msg {
-		t.Fatalf("PostRecv = %v, want the unexpected message", got)
-	}
-	if m.UnexpectedLen() != 0 {
-		t.Fatal("unexpected queue not drained")
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		msg := &InMsg{Env: Envelope{Source: 2, Tag: 9, Context: 0}}
+		if m.Arrive(msg.Env) != nil {
+			t.Fatal("Arrive matched with nothing posted")
+		}
+		m.AddUnexpected(msg)
+		if got := m.PostRecv(recvReq(AnySource, 9, 0)); got != msg {
+			t.Fatalf("PostRecv = %v, want the unexpected message", got)
+		}
+		if m.UnexpectedLen() != 0 {
+			t.Fatal("unexpected queue not drained")
+		}
+	})
 }
 
 // MPI non-overtaking: earlier sends match earlier receives from the same
 // (source, context).
 func TestMatcherNonOvertaking(t *testing.T) {
-	var m Matcher
-	m.AddUnexpected(&InMsg{Env: Envelope{Source: 1, Tag: 4, Context: 0, Seq: 1}})
-	m.AddUnexpected(&InMsg{Env: Envelope{Source: 1, Tag: 4, Context: 0, Seq: 2}})
-	first := m.PostRecv(recvReq(1, 4, 0))
-	second := m.PostRecv(recvReq(1, AnyTag, 0))
-	if first == nil || second == nil {
-		t.Fatal("matches missing")
-	}
-	if first.Env.Seq != 1 || second.Env.Seq != 2 {
-		t.Fatalf("overtaking: got seqs %d, %d", first.Env.Seq, second.Env.Seq)
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		m.AddUnexpected(&InMsg{Env: Envelope{Source: 1, Tag: 4, Context: 0, Seq: 1}})
+		m.AddUnexpected(&InMsg{Env: Envelope{Source: 1, Tag: 4, Context: 0, Seq: 2}})
+		first := m.PostRecv(recvReq(1, 4, 0))
+		second := m.PostRecv(recvReq(1, AnyTag, 0))
+		if first == nil || second == nil {
+			t.Fatal("matches missing")
+		}
+		if first.Env.Seq != 1 || second.Env.Seq != 2 {
+			t.Fatalf("overtaking: got seqs %d, %d", first.Env.Seq, second.Env.Seq)
+		}
+	})
 }
 
 // Posted wildcard receives are consumed in post order by an arrival.
 func TestMatcherPostedOrder(t *testing.T) {
-	var m Matcher
-	r1 := recvReq(AnySource, AnyTag, 0)
-	r2 := recvReq(AnySource, AnyTag, 0)
-	m.PostRecv(r1)
-	m.PostRecv(r2)
-	if got := m.Arrive(Envelope{Source: 0, Tag: 0, Context: 0}); got != r1 {
-		t.Fatalf("Arrive matched %v, want first posted", got)
-	}
-	if got := m.Arrive(Envelope{Source: 0, Tag: 0, Context: 0}); got != r2 {
-		t.Fatalf("Arrive matched %v, want second posted", got)
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		r1 := recvReq(AnySource, AnyTag, 0)
+		r2 := recvReq(AnySource, AnyTag, 0)
+		m.PostRecv(r1)
+		m.PostRecv(r2)
+		if got := m.Arrive(Envelope{Source: 0, Tag: 0, Context: 0}); got != r1 {
+			t.Fatalf("Arrive matched %v, want first posted", got)
+		}
+		if got := m.Arrive(Envelope{Source: 0, Tag: 0, Context: 0}); got != r2 {
+			t.Fatalf("Arrive matched %v, want second posted", got)
+		}
+	})
+}
+
+// An arrival must take the earliest posted receive across bins: an exact
+// pattern posted before a wildcard wins, and vice versa.
+func TestMatcherArriveCrossBinOrder(t *testing.T) {
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		exact := recvReq(0, 7, 0)
+		wild := recvReq(AnySource, AnyTag, 0)
+		m.PostRecv(exact)
+		m.PostRecv(wild)
+		if got := m.Arrive(Envelope{Source: 0, Tag: 7, Context: 0}); got != exact {
+			t.Fatalf("Arrive matched %v, want the earlier exact pattern", got)
+		}
+		m = mk()
+		m.PostRecv(wild)
+		m.PostRecv(exact)
+		if got := m.Arrive(Envelope{Source: 0, Tag: 7, Context: 0}); got != wild {
+			t.Fatalf("Arrive matched %v, want the earlier wildcard pattern", got)
+		}
+	})
 }
 
 func TestMatcherTagSelective(t *testing.T) {
-	var m Matcher
-	m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 1, Context: 0, Seq: 1}})
-	m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 2, Context: 0, Seq: 2}})
-	if got := m.PostRecv(recvReq(0, 2, 0)); got == nil || got.Env.Seq != 2 {
-		t.Fatalf("tag-selective match failed: %v", got)
-	}
-	if got := m.PostRecv(recvReq(0, 1, 0)); got == nil || got.Env.Seq != 1 {
-		t.Fatalf("remaining message not matched: %v", got)
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 1, Context: 0, Seq: 1}})
+		m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 2, Context: 0, Seq: 2}})
+		if got := m.PostRecv(recvReq(0, 2, 0)); got == nil || got.Env.Seq != 2 {
+			t.Fatalf("tag-selective match failed: %v", got)
+		}
+		if got := m.PostRecv(recvReq(0, 1, 0)); got == nil || got.Env.Seq != 1 {
+			t.Fatalf("remaining message not matched: %v", got)
+		}
+	})
 }
 
 func TestMatcherProbeDoesNotConsume(t *testing.T) {
-	var m Matcher
-	m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 1, Context: 0}})
-	if m.Probe(0, 1, 0) == nil {
-		t.Fatal("Probe missed queued message")
-	}
-	if m.UnexpectedLen() != 1 {
-		t.Fatal("Probe consumed the message")
-	}
-	if m.Probe(0, 2, 0) != nil {
-		t.Fatal("Probe matched wrong tag")
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: 1, Context: 0}})
+		if m.Probe(0, 1, 0) == nil {
+			t.Fatal("Probe missed queued message")
+		}
+		if m.UnexpectedLen() != 1 {
+			t.Fatal("Probe consumed the message")
+		}
+		if m.Probe(0, 2, 0) != nil {
+			t.Fatal("Probe matched wrong tag")
+		}
+	})
+}
+
+// Probe sees only unexpected messages: posted-receive state is invisible
+// to MPI_Probe by design.
+func TestMatcherProbeIgnoresPosted(t *testing.T) {
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		m.PostRecv(recvReq(0, 1, 0))
+		if m.Probe(0, 1, 0) != nil {
+			t.Fatal("Probe reported a posted receive as a message")
+		}
+	})
 }
 
 func TestMatcherCancelRecv(t *testing.T) {
-	var m Matcher
-	r := recvReq(0, 1, 0)
-	m.PostRecv(r)
-	if !m.CancelRecv(r) {
-		t.Fatal("CancelRecv failed on posted receive")
-	}
-	if m.CancelRecv(r) {
-		t.Fatal("CancelRecv succeeded twice")
-	}
-	if m.Arrive(Envelope{Source: 0, Tag: 1, Context: 0}) != nil {
-		t.Fatal("cancelled receive still matched")
-	}
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		m := mk()
+		r := recvReq(0, 1, 0)
+		m.PostRecv(r)
+		if !m.CancelRecv(r) {
+			t.Fatal("CancelRecv failed on posted receive")
+		}
+		if m.CancelRecv(r) {
+			t.Fatal("CancelRecv succeeded twice")
+		}
+		if m.Arrive(Envelope{Source: 0, Tag: 1, Context: 0}) != nil {
+			t.Fatal("cancelled receive still matched")
+		}
+	})
 }
 
 // Property: for random arrival sequences from one source, draining with
 // wildcard receives yields exactly the arrival order (non-overtaking).
 func TestMatcherFIFOProperty(t *testing.T) {
-	prop := func(tags []uint8) bool {
-		var m Matcher
-		for i, tg := range tags {
-			m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: int(tg % 4), Context: 0, Seq: uint64(i + 1)}})
-		}
-		for i := range tags {
-			msg := m.PostRecv(recvReq(AnySource, AnyTag, 0))
-			if msg == nil || msg.Env.Seq != uint64(i+1) {
-				return false
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		prop := func(tags []uint8) bool {
+			m := mk()
+			for i, tg := range tags {
+				m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: int(tg % 4), Context: 0, Seq: uint64(i + 1)}})
 			}
+			for i := range tags {
+				msg := m.PostRecv(recvReq(AnySource, AnyTag, 0))
+				if msg == nil || msg.Env.Seq != uint64(i+1) {
+					return false
+				}
+			}
+			return m.UnexpectedLen() == 0
 		}
-		return m.UnexpectedLen() == 0
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
-		t.Fatal(err)
-	}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // Property: selective receives by tag preserve per-tag order.
 func TestMatcherPerTagOrderProperty(t *testing.T) {
-	prop := func(tags []uint8) bool {
-		var m Matcher
-		perTag := map[int][]uint64{}
-		for i, tg := range tags {
-			tag := int(tg % 3)
-			seq := uint64(i + 1)
-			m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: tag, Context: 0, Seq: seq}})
-			perTag[tag] = append(perTag[tag], seq)
-		}
-		for tag, seqs := range perTag {
-			for _, want := range seqs {
-				msg := m.PostRecv(recvReq(0, tag, 0))
-				if msg == nil || msg.Env.Seq != want {
-					return false
+	forEachMatcher(t, func(t *testing.T, mk func() matchQueue) {
+		prop := func(tags []uint8) bool {
+			m := mk()
+			perTag := map[int][]uint64{}
+			for i, tg := range tags {
+				tag := int(tg % 3)
+				seq := uint64(i + 1)
+				m.AddUnexpected(&InMsg{Env: Envelope{Source: 0, Tag: tag, Context: 0, Seq: seq}})
+				perTag[tag] = append(perTag[tag], seq)
+			}
+			for tag, seqs := range perTag {
+				for _, want := range seqs {
+					msg := m.PostRecv(recvReq(0, tag, 0))
+					if msg == nil || msg.Env.Seq != want {
+						return false
+					}
 				}
 			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}); err != nil {
-		t.Fatal(err)
-	}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}); err != nil {
+			t.Fatal(err)
+		}
+	})
 }

@@ -119,9 +119,13 @@ func (t *MemTransport) drainSendQ(dst int) {
 }
 
 func (t *MemTransport) sendEager(req *Request) {
-	data := make([]byte, len(req.Buf))
+	// Bounce space comes from the sender engine's pool; the receiving
+	// engine recycles it after copy-out (single-scheduler worlds make the
+	// cross-rank Put safe).
+	pool := t.eng.Pool()
+	data := pool.Get(len(req.Buf))
 	copy(data, req.Buf)
-	t.deliver(req.Env.Dest, &Packet{Kind: PktEager, Env: req.Env, Data: data})
+	t.deliver(req.Env.Dest, &Packet{Kind: PktEager, Env: req.Env, Data: data, Pool: pool})
 }
 
 // Send implements Transport. Messages queue in issue order behind any
@@ -156,10 +160,11 @@ func (t *MemTransport) Accept(p *sim.Proc, msg *InMsg, req *Request) {
 // SendPayload implements Transport: the CTS surfaced at the sender; move
 // the payload straight into the posted receive.
 func (t *MemTransport) SendPayload(p *sim.Proc, req *Request, pkt *Packet) {
-	data := make([]byte, len(req.Buf))
+	pool := t.eng.Pool()
+	data := pool.Get(len(req.Buf))
 	copy(data, req.Buf)
 	recvID, _ := pkt.Handle.(int64)
-	t.deliver(req.Env.Dest, &Packet{Kind: PktData, Env: req.Env, ReqID: recvID, Data: data})
+	t.deliver(req.Env.Dest, &Packet{Kind: PktData, Env: req.Env, ReqID: recvID, Data: data, Pool: pool})
 	t.eng.SendDone(req)
 }
 

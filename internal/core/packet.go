@@ -50,9 +50,10 @@ func (k PacketKind) String() string {
 type Packet struct {
 	Kind   PacketKind
 	Env    Envelope
-	Data   []byte // eager payload (bounce storage owned by transport until Release)
-	ReqID  int64  // CTS/SyncAck: sender request; Data: receiver request
-	Handle any    // transport cookie threaded from RTS to Accept
+	Data   []byte   // eager payload (bounce storage owned by transport until Release)
+	ReqID  int64    // CTS/SyncAck: sender request; Data: receiver request
+	Handle any      // transport cookie threaded from RTS to Accept
+	Pool   *BufPool // owner of Data; the engine recycles the bounce buffer after its copy-out
 }
 
 // Transport moves bytes and charges platform time on behalf of an Engine.

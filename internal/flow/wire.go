@@ -22,15 +22,22 @@ const HeaderBytes = core.HeaderWireBytes // 25
 // EncodeHeader serializes one protocol header.
 func EncodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint32) [HeaderBytes]byte {
 	var h [HeaderBytes]byte
-	h[0] = byte(kind)&0x0F | byte(env.Mode)<<4
-	binary.BigEndian.PutUint32(h[1:5], uint32(credit))
-	binary.BigEndian.PutUint16(h[5:7], uint16(env.Source))
-	binary.BigEndian.PutUint16(h[7:9], uint16(env.Context))
-	binary.BigEndian.PutUint32(h[9:13], uint32(int32(env.Tag)))
-	binary.BigEndian.PutUint32(h[13:17], uint32(env.Count))
-	binary.BigEndian.PutUint32(h[17:21], uint32(env.SendID))
-	binary.BigEndian.PutUint32(h[21:25], aux)
+	EncodeHeaderInto(h[:], kind, credit, env, aux)
 	return h
+}
+
+// EncodeHeaderInto serializes one protocol header into dst (which must
+// hold at least HeaderBytes). It is EncodeHeader without the array copy,
+// for transports assembling frames in pooled scratch buffers.
+func EncodeHeaderInto(dst []byte, kind core.PacketKind, credit int, env core.Envelope, aux uint32) {
+	dst[0] = byte(kind)&0x0F | byte(env.Mode)<<4
+	binary.BigEndian.PutUint32(dst[1:5], uint32(credit))
+	binary.BigEndian.PutUint16(dst[5:7], uint16(env.Source))
+	binary.BigEndian.PutUint16(dst[7:9], uint16(env.Context))
+	binary.BigEndian.PutUint32(dst[9:13], uint32(int32(env.Tag)))
+	binary.BigEndian.PutUint32(dst[13:17], uint32(env.Count))
+	binary.BigEndian.PutUint32(dst[17:21], uint32(env.SendID))
+	binary.BigEndian.PutUint32(dst[21:25], aux)
 }
 
 // DecodeHeader parses a protocol header produced by EncodeHeader.

@@ -1,0 +1,99 @@
+// Markdown hygiene for the repo documentation: every relative link and
+// local anchor in the top-level *.md files must resolve. Runs hermetically
+// in `go test ./...` (and therefore in the CI race job) — no external link
+// checker to install, and http(s) links are deliberately not fetched.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target); images share the
+// syntax with a leading bang.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// mdHeading matches ATX headings, whose GitHub anchor we derive below.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// TestMarkdownLinks resolves every relative link in the repo's markdown
+// files against the working tree, and every #fragment against the target
+// file's headings.
+func TestMarkdownLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found at the repo root")
+	}
+	var broken []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path == "" { // same-file anchor
+				path = f
+			}
+			path = filepath.Clean(path)
+			info, err := os.Stat(path)
+			if err != nil {
+				broken = append(broken, fmt.Sprintf("%s: link %q: missing file %s", f, target, path))
+				continue
+			}
+			if frag == "" || info.IsDir() || !strings.HasSuffix(path, ".md") {
+				continue
+			}
+			if !hasAnchor(t, path, frag) {
+				broken = append(broken, fmt.Sprintf("%s: link %q: no heading for #%s in %s", f, target, frag, path))
+			}
+		}
+	}
+	if len(broken) > 0 {
+		t.Errorf("broken markdown links:\n  %s", strings.Join(broken, "\n  "))
+	}
+}
+
+// hasAnchor reports whether file has a heading whose GitHub-style anchor
+// equals frag (lowercase, spaces to dashes, punctuation dropped).
+func hasAnchor(t *testing.T, file, frag string) bool {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+		if githubAnchor(m[1]) == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r >= 0x80:
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -65,14 +65,22 @@ type Contig struct {
 	Of    Datatype
 }
 
-func (c Contig) Size() int   { return c.Count * c.Of.Size() }
+// Size implements Datatype: the packed bytes of all Count elements.
+func (c Contig) Size() int { return c.Count * c.Of.Size() }
+
+// Extent implements Datatype: contiguous elements span their extents
+// back to back.
 func (c Contig) Extent() int { return c.Count * c.Of.Extent() }
+
+// Pack implements Datatype.
 func (c Contig) Pack(dst, src []byte) {
 	sz, ex := c.Of.Size(), c.Of.Extent()
 	for i := 0; i < c.Count; i++ {
 		c.Of.Pack(dst[i*sz:], src[i*ex:])
 	}
 }
+
+// Unpack implements Datatype.
 func (c Contig) Unpack(dst, src []byte) {
 	sz, ex := c.Of.Size(), c.Of.Extent()
 	for i := 0; i < c.Count; i++ {
@@ -87,13 +95,19 @@ type Vector struct {
 	Of                      Datatype
 }
 
+// Size implements Datatype: Count blocks of BlockLen packed elements.
 func (v Vector) Size() int { return v.Count * v.BlockLen * v.Of.Size() }
+
+// Extent implements Datatype: the span from the first element through the
+// end of the last block, stride included.
 func (v Vector) Extent() int {
 	if v.Count == 0 {
 		return 0
 	}
 	return ((v.Count-1)*v.Stride + v.BlockLen) * v.Of.Extent()
 }
+
+// Pack implements Datatype.
 func (v Vector) Pack(dst, src []byte) {
 	sz, ex := v.Of.Size(), v.Of.Extent()
 	o := 0
@@ -104,6 +118,8 @@ func (v Vector) Pack(dst, src []byte) {
 		}
 	}
 }
+
+// Unpack implements Datatype.
 func (v Vector) Unpack(dst, src []byte) {
 	sz, ex := v.Of.Size(), v.Of.Extent()
 	o := 0
@@ -123,6 +139,7 @@ type Indexed struct {
 	Of        Datatype
 }
 
+// Size implements Datatype: the packed bytes of every block.
 func (x Indexed) Size() int {
 	n := 0
 	for _, b := range x.BlockLens {
@@ -130,6 +147,9 @@ func (x Indexed) Size() int {
 	}
 	return n * x.Of.Size()
 }
+
+// Extent implements Datatype: the span through the end of the
+// furthest-displaced block.
 func (x Indexed) Extent() int {
 	max := 0
 	for i, b := range x.BlockLens {
@@ -139,6 +159,8 @@ func (x Indexed) Extent() int {
 	}
 	return max * x.Of.Extent()
 }
+
+// Pack implements Datatype.
 func (x Indexed) Pack(dst, src []byte) {
 	sz, ex := x.Of.Size(), x.Of.Extent()
 	o := 0
@@ -149,6 +171,8 @@ func (x Indexed) Pack(dst, src []byte) {
 		}
 	}
 }
+
+// Unpack implements Datatype.
 func (x Indexed) Unpack(dst, src []byte) {
 	sz, ex := x.Of.Size(), x.Of.Extent()
 	o := 0
@@ -173,6 +197,7 @@ type StructField struct {
 	Of    Datatype
 }
 
+// Size implements Datatype: the packed bytes of every field.
 func (s StructType) Size() int {
 	n := 0
 	for _, f := range s.Fields {
@@ -180,6 +205,9 @@ func (s StructType) Size() int {
 	}
 	return n
 }
+
+// Extent implements Datatype: the span through the end of the
+// furthest-displaced field.
 func (s StructType) Extent() int {
 	max := 0
 	for _, f := range s.Fields {
@@ -189,6 +217,8 @@ func (s StructType) Extent() int {
 	}
 	return max
 }
+
+// Pack implements Datatype.
 func (s StructType) Pack(dst, src []byte) {
 	o := 0
 	for _, f := range s.Fields {
@@ -199,6 +229,8 @@ func (s StructType) Pack(dst, src []byte) {
 		}
 	}
 }
+
+// Unpack implements Datatype.
 func (s StructType) Unpack(dst, src []byte) {
 	o := 0
 	for _, f := range s.Fields {

@@ -81,6 +81,56 @@ func ExampleComm_Probe() {
 	// hello from 2 (12 bytes)
 }
 
+// Wildcard receives: AnySource/AnyTag patterns match whichever message
+// arrived first, and the returned Status reports the concrete source and
+// tag. Per source, messages still match in send order (non-overtaking).
+func ExampleComm_Recv_wildcard() {
+	_, err := meiko.Run(meiko.Config{Nodes: 3, Impl: meiko.LowLatency}, func(c *mpi.Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, 10*c.Rank(), []byte{byte(c.Rank())})
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < 2; i++ {
+			st, err := c.Recv(mpi.AnySource, mpi.AnyTag, buf)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("from rank %d, tag %d\n", st.Source, st.Tag)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Unordered output:
+	// from rank 1, tag 10
+	// from rank 2, tag 20
+}
+
+// Forcing collective algorithms: World.Tune pins operations to registered
+// algorithms by name (everything else keeps auto-selecting).
+func ExampleWorld_Tune() {
+	w, _ := meiko.NewWorld(meiko.Config{Nodes: 4, Impl: meiko.LowLatency})
+	w.Tune = mpi.Tuning{"bcast": "binomial"}
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		buf := []byte{0}
+		if c.Rank() == 0 {
+			buf[0] = 42
+		}
+		if err := c.Bcast(0, buf); err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			fmt.Println("rank 3 got", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 3 got 42
+}
+
 // Derived datatypes: sending a strided matrix column.
 func ExampleVector() {
 	col := mpi.Vector{Count: 3, BlockLen: 1, Stride: 3, Of: mpi.Float64}

@@ -31,6 +31,17 @@ const (
 // Status describes a completed receive.
 type Status = core.Status
 
+// Tuning maps collective operation names to forced algorithm names — the
+// type of World.Tune. A nil Tuning auto-selects every operation by message
+// size, communicator size, and platform capability.
+type Tuning = coll.Tuning
+
+// ParseTuning parses "op=alg,op=alg" (e.g. "bcast=binomial,allreduce=rsag")
+// into a Tuning, validating both operation and algorithm names against the
+// registry — a typo reports the available listing instead of silently
+// auto-selecting.
+func ParseTuning(s string) (Tuning, error) { return coll.ParseTuning(s) }
+
 // BcastAlg selects the broadcast algorithm.
 type BcastAlg int
 
@@ -60,10 +71,10 @@ type World struct {
 	S     *sim.Scheduler
 	Bcast BcastAlg
 	// Tune forces collective algorithms by registered name, per operation
-	// (see coll.ParseTuning); a "bcast" entry wins over the legacy Bcast
-	// knob. Operations without an entry auto-select by message size,
-	// communicator size, and platform capability.
-	Tune     coll.Tuning
+	// (see ParseTuning); a "bcast" entry wins over the legacy Bcast knob.
+	// Operations without an entry auto-select by message size, communicator
+	// size, and platform capability.
+	Tune     Tuning
 	eps      []core.Endpoint
 	nextCtx  int
 	rankDone []sim.Time

@@ -32,6 +32,12 @@ type transport struct {
 	conns []*atm.TCP // TCP mesh (nil diagonal)
 	dgram dgramLink  // UDP (reliable layer) or U-Net mode
 
+	// pool recycles frame scratch, eager bounce buffers, and datagram
+	// read buffers (the engine's pool, so counters land in the rank's
+	// account). All the socket layers copy payloads on Send/Write, so a
+	// frame is recyclable as soon as the call returns.
+	pool *core.BufPool
+
 	inbox []*core.Packet
 	rr    int // round-robin parse start
 
@@ -93,6 +99,7 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 		rndvSend: make(map[int64]*core.Request),
 		rndvRecv: make(map[uint32]*rndvRecvSt),
 		inData:   make([]*tcpData, size),
+		pool:     eng.Pool(),
 	}
 	// Eager messages charge header+payload bytes against the receiver's
 	// reservation; rendezvous envelopes are credit-exempt (their payload is
@@ -167,17 +174,17 @@ func (t *transport) MaxEager() int { return t.max }
 // writeFrame ships one protocol message (header + optional payload),
 // charging p the full kernel send path.
 func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope, aux uint32, payload []byte) {
-	hdr := flow.EncodeHeader(kind, t.owed.Take(dst), env, aux)
-	frame := append(hdr[:], payload...)
+	frame := t.pool.Get(headerBytes + len(payload))
+	flow.EncodeHeaderInto(frame, kind, t.owed.Take(dst), env, aux)
+	copy(frame[headerBytes:], payload)
 	if t.kind == TCP {
 		t.conns[dst].Write(p, frame)
-		return
-	}
-	// Datagram modes: one datagram per message; oversized payloads are
-	// chunked by the caller before reaching here.
-	if err := t.dgram.Send(p, dst, frame); err != nil {
+	} else if err := t.dgram.Send(p, dst, frame); err != nil {
+		// Datagram modes: one datagram per message; oversized payloads are
+		// chunked by the caller before reaching here.
 		t.fail(err)
 	}
+	t.pool.Put(frame)
 }
 
 // fail declares the transport dead: the error (typed ErrLinkDown unless the
@@ -246,13 +253,15 @@ func (t *transport) SendPayload(p *sim.Proc, req *core.Request, pkt *core.Packet
 		// blocking write would park both sides on window space with neither
 		// draining its inbound stream, so interleave: whenever the window
 		// closes, parse whatever has arrived before parking.
-		hdr := flow.EncodeHeader(core.PktData, t.owed.Take(dst), req.Env, handle)
-		frame := append(hdr[:], data...)
+		frame := t.pool.Get(headerBytes + len(data))
+		flow.EncodeHeaderInto(frame, core.PktData, t.owed.Take(dst), req.Env, handle)
+		copy(frame[headerBytes:], data)
 		t.conns[dst].WriteInterleaved(p, frame, func() {
 			if !t.parseAvailable(p) {
 				t.creditCond.Wait(p)
 			}
 		})
+		t.pool.Put(frame)
 		t.eng.SendDone(req)
 		return
 	}
@@ -400,11 +409,11 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 
 	switch kind {
 	case core.PktEager:
-		payload := make([]byte, env.Count)
+		payload := t.pool.Get(env.Count)
 		t2 := p.Now()
 		conn.ReadFull(p, payload)
 		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
-		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: payload})
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: payload, Pool: t.pool})
 	case core.PktRTS:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
 	case core.PktCTS:
@@ -452,10 +461,14 @@ func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
 			conn.ReadFull(p, st.req.Buf[st.got:end])
 			if rest := n - (end - st.got); rest > 0 {
 				// The receive buffer was short: drain and discard the excess.
-				conn.ReadFull(p, make([]byte, rest))
+				junk := t.pool.Get(rest)
+				conn.ReadFull(p, junk)
+				t.pool.Put(junk)
 			}
 		} else {
-			conn.ReadFull(p, make([]byte, n))
+			junk := t.pool.Get(n)
+			conn.ReadFull(p, junk)
+			t.pool.Put(junk)
 		}
 		acct.Book(acctReadData, sim.Duration(p.Now()-t2))
 		st.got += n
@@ -468,7 +481,8 @@ func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
 // parseDgram consumes one reliable datagram, reporting whether one was
 // available.
 func (t *transport) parseDgram(p *sim.Proc) bool {
-	buf := make([]byte, t.dgram.MaxDatagram())
+	buf := t.pool.Get(t.dgram.MaxDatagram())
+	defer t.pool.Put(buf)
 	n, _, ok, err := t.dgram.TryRecv(p, buf)
 	if err != nil {
 		t.fail(err)
@@ -486,9 +500,9 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 
 	switch kind {
 	case core.PktEager:
-		data := make([]byte, len(payload))
+		data := t.pool.Get(len(payload))
 		copy(data, payload)
-		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: data})
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, Data: data, Pool: t.pool})
 	case core.PktRTS:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
 	case core.PktCTS:

@@ -109,10 +109,14 @@ func (t *lowlatTransport) transmit(req *core.Request) {
 		return
 	}
 	t.eng.Acct().Incr("eager", 1)
-	data := make([]byte, len(req.Buf))
+	// The per-sender envelope slot is modeled by a pooled bounce buffer:
+	// the receiving engine recycles it after the copy-out that frees the
+	// slot (single-scheduler worlds make the cross-rank Put safe).
+	pool := t.eng.Pool()
+	data := pool.Get(len(req.Buf))
 	copy(data, req.Buf)
 	t.node.Txn(dst, envelopeTxnBytes+len(data), false, func() {
-		t.all[dst].push(&core.Packet{Kind: core.PktEager, Env: env, Data: data})
+		t.all[dst].push(&core.Packet{Kind: core.PktEager, Env: env, Data: data, Pool: pool})
 	})
 	t.eng.SendDone(req)
 }
