@@ -31,6 +31,7 @@ func main() {
 	collectives := flag.Bool("collectives", false, "sweep every collective algorithm across sizes and derive crossovers")
 	faults := flag.Bool("faults", false, "sweep latency and bandwidth across injected loss rates on every cluster transport")
 	matchbench := flag.Bool("matchbench", false, "run the receive-matching microbenchmarks (indexed vs linear, allocation profile)")
+	scale := flag.Bool("scale", false, "run the kernel scale sweep (sharded vs single-lane, 64-4096 ranks; 16384 with -full)")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
@@ -40,6 +41,8 @@ func main() {
 	faultsJSONPath := flag.String("faultsjson", "BENCH_faults.json", "with -faults: write the machine-readable record here (\"\" disables)")
 	matchJSONPath := flag.String("matchjson", "BENCH_match.json", "with -matchbench: write the machine-readable record here (\"\" disables)")
 	matchBaseline := flag.String("matchbaseline", "", "with -matchbench: compare against this committed baseline and exit nonzero on >10% regression")
+	scaleJSONPath := flag.String("scalejson", "BENCH_scale.json", "with -scale: write the machine-readable record here (\"\" disables)")
+	scaleBaseline := flag.String("scalebaseline", "", "with -scale: compare against this committed baseline and exit nonzero on >10% events/sec regression or any allocs/op increase")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -80,8 +83,9 @@ func main() {
 		*collectives = true
 		*faults = true
 		*matchbench = true
+		*scale = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*scale {
 		flag.Usage()
 		return
 	}
@@ -217,6 +221,42 @@ func main() {
 		if fails := bench.CheckMatch(rep, base, 0.10); len(fails) > 0 {
 			for _, f := range fails {
 				log.Printf("matchbench regression: %s", f)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *scale {
+		var base *bench.ScaleReport
+		if *scaleBaseline != "" {
+			data, err := os.ReadFile(*scaleBaseline)
+			if err != nil {
+				log.Fatalf("scale baseline: %v", err)
+			}
+			b, err := bench.UnmarshalScale(data)
+			if err != nil {
+				log.Fatalf("scale baseline: %v", err)
+			}
+			base = &b
+		}
+		rep, err := bench.ScaleBench(o)
+		if err != nil {
+			log.Fatalf("scale: %v", err)
+		}
+		fmt.Println(bench.FormatScale(rep))
+		if *scaleJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("scale json: %v", err)
+			}
+			if err := os.WriteFile(*scaleJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *scaleJSONPath)
+		}
+		if fails := bench.CheckScale(rep, base, 0.10); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("scale regression: %s", f)
 			}
 			os.Exit(1)
 		}

@@ -24,9 +24,10 @@ func main() {
 	impl := flag.String("impl", "", "meiko implementation: lowlatency | mpich (default lowlatency)")
 	ranks := flag.Int("ranks", 3, "number of ranks")
 	size := flag.Int("size", 64, "message payload bytes")
+	lanes := flag.Int("lanes", 0, "run on the sharded kernel with this many lanes (mem platform only; 0 = single-lane kernel)")
 	flag.Parse()
 
-	spec := registry.Spec{Platform: *platform, Impl: *impl, Ranks: *ranks}
+	spec := registry.Spec{Platform: *platform, Impl: *impl, Ranks: *ranks, Lanes: *lanes}
 	w, err := registry.Build(spec)
 	if err != nil {
 		log.Fatalf("trace: %v", err)
@@ -84,5 +85,23 @@ func main() {
 	if hits+misses > 0 {
 		fmt.Printf("  buffer pool                 %d hits / %d misses (%.0f%%), %d bytes recycled\n",
 			hits, misses, 100*float64(hits)/float64(hits+misses), cnt[core.PoolRecycled])
+	}
+
+	// Control-plane counters from the sharded kernel, when one ran the job.
+	if st := rep.Shard; st != nil {
+		fmt.Println("\nSharded kernel:")
+		fmt.Printf("  lanes                       %d\n", st.Lanes)
+		fmt.Printf("  epochs                      %d (%d lane stalls)\n", st.Epochs, st.Stalls)
+		fmt.Printf("  cross-lane envelopes        %d routed, mailbox high-water %d\n", st.Routed, st.MailboxHighWater)
+		var min, max uint64
+		for i, ev := range st.LaneEvents {
+			if i == 0 || ev < min {
+				min = ev
+			}
+			if ev > max {
+				max = ev
+			}
+		}
+		fmt.Printf("  events per lane             %d total, min %d / max %d\n", st.Events, min, max)
 	}
 }

@@ -112,10 +112,22 @@ func (e *Ethernet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bo
 // link per host into a ForeRunner ASX-200, which forwards cells to the
 // destination port. Uplinks and downlinks are independent resources, so
 // there is no cross-host contention except at a shared destination port.
+//
+// Because every per-host resource (uplink, downlink, NIC time) belongs to
+// exactly one host, the fabric shards cleanly: NewShardedATMNet pins host
+// i's FIFOs to its lane, and the switch-forwarding hop — the only point
+// where a packet leaves its source host — crosses lanes through Route,
+// with SwitchDelay as the lookahead bound. On a single scheduler the hop
+// degrades to a plain timer, bit-identical to the historical model. The
+// shared Ethernet segment, by contrast, serializes all hosts on one wire
+// and stays single-scheduler only.
 type ATMNet struct {
 	s        *sim.Scheduler
 	c        Costs
 	up, down []*sim.FIFO
+
+	scheds []*sim.Scheduler // per-host lane scheduler; nil when unsharded
+	laneOf []int
 }
 
 // NewATMNet builds the switch with n host ports.
@@ -128,26 +140,62 @@ func NewATMNet(s *sim.Scheduler, n int, c Costs) *ATMNet {
 	return a
 }
 
+// NewShardedATMNet builds the switch with host i's port FIFOs pinned to
+// lane laneOf[i]. The switch forwarding delay must be at least the shard's
+// lookahead (it is the only cross-lane hop).
+func NewShardedATMNet(sh *sim.Shard, laneOf []int, c Costs) *ATMNet {
+	if c.SwitchDelay < sh.Lookahead() {
+		panic(fmt.Sprintf("atm: switch delay %v below shard lookahead %v", c.SwitchDelay, sh.Lookahead()))
+	}
+	a := &ATMNet{s: sh.Lane(0), c: c, laneOf: laneOf}
+	for i, l := range laneOf {
+		ls := sh.Lane(l)
+		a.scheds = append(a.scheds, ls)
+		a.up = append(a.up, sim.NewFIFO(ls, fmt.Sprintf("atm-up%d", i)))
+		a.down = append(a.down, sim.NewFIFO(ls, fmt.Sprintf("atm-down%d", i)))
+	}
+	return a
+}
+
+func (a *ATMNet) schedOf(host int) *sim.Scheduler {
+	if a.scheds == nil {
+		return a.s
+	}
+	return a.scheds[host]
+}
+
+func (a *ATMNet) lane(host int) int {
+	if a.laneOf == nil {
+		return 0
+	}
+	return a.laneOf[host]
+}
+
 // Kind implements Medium.
 func (a *ATMNet) Kind() MediumKind { return OverATM }
 
 // MTU implements Medium (Classical IP over ATM).
 func (a *ATMNet) MTU() int { return ATMMTU }
 
-// Deliver implements Medium.
+// Deliver implements Medium. Must be called from src's lane context on a
+// sharded fabric.
 func (a *ATMNet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool {
 	wireBytes := AAL5WireBytes(n)
 	if opts.AAL34 {
 		wireBytes = AAL34WireBytes(n)
 	}
 	wire := sim.Duration(wireBytes) * a.c.ATMPerByte
+	ss := a.schedOf(src)
 	// Outbound SAR on the i960, uplink serialization, switch forwarding,
-	// downlink serialization, inbound SAR, then the STREAMS driver.
-	a.s.After(a.c.I960PerPacket, func() {
+	// downlink serialization, inbound SAR, then the STREAMS driver. The
+	// switch hop routes to the destination's lane, so the downlink is
+	// reserved in destination context at the same virtual time the
+	// single-scheduler model reserved it.
+	ss.After(a.c.I960PerPacket, func() {
 		a.up[src].UseAsync(wire, func() {
-			a.s.After(a.c.SwitchDelay, func() {
+			ss.RouteAfter(a.lane(dst), a.c.SwitchDelay, func() {
 				a.down[dst].UseAsync(wire, func() {
-					a.s.After(a.c.I960PerPacket+a.c.DriverATMPerFrame, deliver)
+					a.schedOf(dst).After(a.c.I960PerPacket+a.c.DriverATMPerFrame, deliver)
 				})
 			})
 		})

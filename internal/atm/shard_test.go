@@ -1,0 +1,51 @@
+package atm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The sharded ATM fabric is the same cost model on a different kernel:
+// deliveries — including downlink contention at a shared destination port
+// from sources on different lanes — must land at exactly the
+// single-scheduler times.
+func TestShardedATMNetMatchesSingleScheduler(t *testing.T) {
+	c := DefaultCosts()
+	run := func(a *ATMNet, drive func() (sim.Time, error)) []sim.Time {
+		var ends []sim.Time
+		// Two hosts blast the same destination port; a third packet rides
+		// the opposite direction.
+		a.Deliver(0, 2, 1024, DeliverOpts{}, func() { ends = append(ends, a.schedOf(2).Now()) })
+		a.Deliver(1, 2, 512, DeliverOpts{}, func() { ends = append(ends, a.schedOf(2).Now()) })
+		a.Deliver(2, 0, 256, DeliverOpts{AAL34: true}, func() { ends = append(ends, a.schedOf(0).Now()) })
+		if _, err := drive(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	s := sim.NewScheduler(1)
+	want := run(NewATMNet(s, 3, c), s.Run)
+	sh := sim.NewShard(1, 3, c.SwitchDelay)
+	got := run(NewShardedATMNet(sh, []int{0, 1, 2}, c), sh.Run)
+	if len(want) != 3 || len(got) != 3 {
+		t.Fatalf("deliveries: single %v, sharded %v", want, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d at %v sharded, %v single (all: %v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestShardedATMNetRejectsShortSwitchDelay(t *testing.T) {
+	c := DefaultCosts()
+	sh := sim.NewShard(1, 2, c.SwitchDelay+time.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for switch delay below lookahead")
+		}
+	}()
+	NewShardedATMNet(sh, []int{0, 1}, c)
+}

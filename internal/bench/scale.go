@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/mpi"
+	"repro/platform/registry"
+)
+
+// Scale sweep: the sharded kernel against the single-lane kernel on a
+// kernel-level dissemination barrier — the densest cross-node traffic
+// pattern the simulator runs (every rank sends every round, every send
+// crosses the fabric). The world is built directly on sim procs, Conds,
+// and Route so the sweep measures the kernels themselves rather than the
+// MPI engine above them.
+//
+// Three regression arms, from hardware-robust to hardware-bound:
+//   - Allocations per event in the sharded kernel's steady state: exact
+//     and deterministic; any nonzero value fails outright.
+//   - The sharded-over-single speedup ratio: both kernels run on the same
+//     machine in the same process, so the ratio survives CI hardware
+//     churn. Floored at scaleMinSpeedup for the largest >=1024-rank point.
+//   - Absolute events/sec against the committed baseline (tolerance-gated):
+//     this arm assumes the baseline machine and the CI machine are
+//     comparable; it exists to catch the large regressions the ratio arm
+//     cannot see (both kernels slowing down together).
+//
+// Every point also cross-checks determinism: the single-lane kernel, the
+// sequential sharded kernel, and the parallel sharded kernel must execute
+// the identical event count and finish at the identical virtual time.
+
+// scaleIters is the number of barrier iterations per world. Fixed (not an
+// Opts knob) so the event counts in BENCH_scale.json are comparable across
+// revisions.
+const scaleIters = 10
+
+// ScalePoint is one rank count in BENCH_scale.json: both kernels measured
+// on the same world, plus the sharded control-plane counters.
+type ScalePoint struct {
+	Ranks  int `json:"ranks"`
+	Lanes  int `json:"lanes"`
+	Rounds int `json:"rounds"` // dissemination rounds per barrier: ceil(log2 ranks)
+
+	Events    uint64  `json:"events"`     // identical across kernels (asserted)
+	VirtualUs float64 `json:"virtual_us"` // identical across kernels (asserted)
+	Identical bool    `json:"identical"`  // events and virtual time matched across all kernels
+
+	SingleEvPerSec   float64 `json:"single_ev_per_sec"`
+	ShardEvPerSec    float64 `json:"shard_ev_per_sec"`
+	ParallelEvPerSec float64 `json:"parallel_ev_per_sec"`
+	Speedup          float64 `json:"speedup"` // sharded (sequential) over single, same machine
+
+	Epochs           uint64 `json:"epochs"`
+	Stalls           uint64 `json:"stalls"`
+	Routed           uint64 `json:"routed"`
+	MailboxHighWater int    `json:"mailbox_high_water"`
+}
+
+// ScaleCollPoint is one full-MPI collective re-run at scale: the same
+// operation on the same mem world, single-lane kernel versus sharded, with
+// the per-rank finish times required to match exactly. This is the
+// tentpole's "collective sweeps at 1k+ ranks" proof — the whole stack
+// (engine, flow, collectives) on the sharded kernel, not just raw sim
+// procs. The fault sweeps stay on the single-lane kernel: fault injection
+// lives in the cluster media, whose shared Ethernet segment and switch
+// stages are world-global resources the registry refuses to shard.
+type ScaleCollPoint struct {
+	Op        string  `json:"op"`
+	Ranks     int     `json:"ranks"`
+	Bytes     int     `json:"bytes"`
+	VirtualUs float64 `json:"virtual_us"`
+	Identical bool    `json:"identical"` // per-rank virtual finish times match across kernels
+	Speedup   float64 `json:"speedup"`   // sharded over single wall clock, same machine
+}
+
+// ScaleReport is the machine-readable record cmd/repro writes as
+// BENCH_scale.json. The committed copy is the regression baseline CI
+// compares against (see CheckScale).
+type ScaleReport struct {
+	Points      []ScalePoint     `json:"points"`
+	Collectives []ScaleCollPoint `json:"collectives"`
+	// LaneAllocsPerOp is the steady-state heap allocations per executed
+	// event on the sequential sharded kernel, measured as the malloc-count
+	// delta between a short and a long run of the same world divided by the
+	// event-count delta — setup and warmup costs subtract out, leaving the
+	// scheduling hot path alone. Zero is the acceptance bar.
+	LaneAllocsPerOp int64 `json:"lane_allocs_per_op"`
+}
+
+// scaleRun is one measured execution of the dissemination-barrier world.
+type scaleRun struct {
+	events  uint64
+	virtual sim.Time
+	wall    time.Duration
+	stats   sim.ShardStats // zero value on the single-lane kernel
+}
+
+// dissemWorld builds and runs the dissemination barrier: ranks procs, each
+// performing scaleIters barriers of ceil(log2 ranks) rounds; round k sends
+// to (i + 2^k) mod ranks and waits for the matching arrival. lanes == 0
+// selects the single-lane kernel; otherwise one lane per node with ranks
+// block-mapped on, and every send crossing lanes through Route with the
+// fabric latency as the lookahead bound.
+func dissemWorld(ranks, lanes, iters int, parallel bool) scaleRun {
+	const lat = time.Microsecond
+	K := bits.Len(uint(ranks - 1))
+	scheds := make([]*sim.Scheduler, ranks)
+	laneOf := make([]int, ranks)
+	var sh *sim.Shard
+	var drive func() (sim.Time, error)
+	if lanes == 0 {
+		s := sim.NewScheduler(1)
+		for i := range scheds {
+			scheds[i] = s
+		}
+		drive = s.Run
+	} else {
+		sh = sim.NewShard(1, lanes, lat)
+		sh.Parallel = parallel
+		for i := range scheds {
+			laneOf[i] = i * lanes / ranks
+			scheds[i] = sh.Lane(laneOf[i])
+		}
+		drive = sh.Run
+	}
+	conds := make([]*sim.Cond, ranks)
+	got := make([][]int, ranks)
+	for i := range conds {
+		conds[i] = sim.NewCond(scheds[i])
+		got[i] = make([]int, K)
+	}
+	// One reusable arrival closure per (dst, round): the counters are
+	// monotonic, so the same closure serves every barrier iteration and the
+	// steady-state send path allocates nothing.
+	arrive := make([][]func(), ranks)
+	for i := range arrive {
+		arrive[i] = make([]func(), K)
+		for k := 0; k < K; k++ {
+			i, k := i, k
+			arrive[i][k] = func() {
+				got[i][k]++
+				conds[i].Signal()
+			}
+		}
+	}
+	for i := 0; i < ranks; i++ {
+		i := i
+		scheds[i].Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			for it := 0; it < iters; it++ {
+				for k := 0; k < K; k++ {
+					dst := (i + 1<<k) % ranks
+					p.Scheduler().RouteAfter(laneOf[dst], lat, arrive[dst][k])
+					for got[i][k] < it+1 {
+						conds[i].Wait(p)
+					}
+				}
+			}
+		})
+	}
+	start := time.Now()
+	end, err := drive()
+	if err != nil {
+		panic(fmt.Sprintf("bench: scale world failed: %v", err))
+	}
+	r := scaleRun{virtual: end, wall: time.Since(start)}
+	if sh != nil {
+		r.stats = sh.Stats()
+		r.events = r.stats.Events
+	} else {
+		r.events = scheds[0].Events()
+	}
+	return r
+}
+
+// bestOf runs fn reps times and keeps the fastest wall clock (virtual time
+// and event counts are deterministic, so repetitions only shed scheduler
+// and allocator noise).
+func bestOf(reps int, fn func() scaleRun) scaleRun {
+	best := fn()
+	for i := 1; i < reps; i++ {
+		if r := fn(); r.wall < best.wall {
+			best.wall = r.wall
+		}
+	}
+	return best
+}
+
+// laneAllocsPerOp probes the sharded kernel's steady-state allocation rate:
+// run the same world short and long, subtract. Setup (procs, conds,
+// closures) and warmup (freelists, outbox capacity) are identical in both
+// runs and cancel; the quotient is the per-event allocation count of the
+// scheduling hot path plus the epoch-amortized control-plane residue
+// (sort.Slice scratch), which sits far below one per event. GC is disabled
+// around the probe so assists don't blur the malloc counter.
+func laneAllocsPerOp(ranks int) int64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	measure := func(iters int) (uint64, uint64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		r := dissemWorld(ranks, ranks, iters, false)
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, r.events
+	}
+	m1, e1 := measure(4)
+	m2, e2 := measure(40)
+	if e2 <= e1 {
+		panic("bench: scale alloc probe ran no steady-state events")
+	}
+	return int64((m2 - m1) / (e2 - e1))
+}
+
+// collAtScale runs one collective on the mem backend at ranks on the given
+// kernel (lanes 0 = single) and reports per-rank finish times plus wall
+// clock.
+func collAtScale(op string, ranks, lanes, n int) ([]sim.Duration, time.Duration, error) {
+	spec := registry.Spec{Platform: "mem", Ranks: ranks, Lanes: lanes, Seed: 1}
+	w, err := registry.Build(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rep, err := mpi.Launch(w, func(c *mpi.Comm) error { return collBody(c, op, n, 1) })
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep.RankElapsed, time.Since(start), nil
+}
+
+// scaleCollectives re-runs the headline collectives at 1k+ ranks through
+// the full MPI stack on both kernels.
+func scaleCollectives(full bool) ([]ScaleCollPoint, error) {
+	ranksList := []int{1024}
+	if full {
+		ranksList = append(ranksList, 2048)
+	}
+	var out []ScaleCollPoint
+	for _, ranks := range ranksList {
+		for _, c := range []struct {
+			op string
+			n  int
+		}{{"barrier", 0}, {"bcast", 1024}, {"allreduce", 1024}} {
+			single, w0, err := collAtScale(c.op, ranks, 0, c.n)
+			if err != nil {
+				return nil, fmt.Errorf("%s ranks=%d single: %w", c.op, ranks, err)
+			}
+			shard, w1, err := collAtScale(c.op, ranks, ranks, c.n)
+			if err != nil {
+				return nil, fmt.Errorf("%s ranks=%d sharded: %w", c.op, ranks, err)
+			}
+			p := ScaleCollPoint{Op: c.op, Ranks: ranks, Bytes: c.n, Identical: len(single) == len(shard)}
+			var max sim.Duration
+			for i := range single {
+				if i < len(shard) && single[i] != shard[i] {
+					p.Identical = false
+				}
+				if single[i] > max {
+					max = single[i]
+				}
+			}
+			p.VirtualUs = float64(max) / 1e3
+			if w1 > 0 {
+				p.Speedup = w0.Seconds() / w1.Seconds()
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ScaleBench runs the rank sweep on both kernels, the full-MPI collective
+// re-runs, and the allocation probe.
+func ScaleBench(o Opts) (ScaleReport, error) {
+	o = o.Norm()
+	rankPoints := []int{64, 256, 1024, 4096}
+	if o.Full {
+		rankPoints = append(rankPoints, 16384)
+	}
+	var rep ScaleReport
+	for _, ranks := range rankPoints {
+		single := bestOf(o.Iters, func() scaleRun { return dissemWorld(ranks, 0, scaleIters, false) })
+		shard := bestOf(o.Iters, func() scaleRun { return dissemWorld(ranks, ranks, scaleIters, false) })
+		par := bestOf(o.Iters, func() scaleRun { return dissemWorld(ranks, ranks, scaleIters, true) })
+		p := ScalePoint{
+			Ranks:     ranks,
+			Lanes:     ranks,
+			Rounds:    bits.Len(uint(ranks - 1)),
+			Events:    single.events,
+			VirtualUs: single.virtual.Duration().Seconds() * 1e6,
+			Identical: single.events == shard.events && shard.events == par.events &&
+				single.virtual == shard.virtual && shard.virtual == par.virtual,
+			SingleEvPerSec:   float64(single.events) / single.wall.Seconds(),
+			ShardEvPerSec:    float64(shard.events) / shard.wall.Seconds(),
+			ParallelEvPerSec: float64(par.events) / par.wall.Seconds(),
+			Epochs:           shard.stats.Epochs,
+			Stalls:           shard.stats.Stalls,
+			Routed:           shard.stats.Routed,
+			MailboxHighWater: shard.stats.MailboxHighWater,
+		}
+		if p.SingleEvPerSec > 0 {
+			p.Speedup = p.ShardEvPerSec / p.SingleEvPerSec
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	coll, err := scaleCollectives(o.Full)
+	if err != nil {
+		return rep, err
+	}
+	rep.Collectives = coll
+	rep.LaneAllocsPerOp = laneAllocsPerOp(512)
+	return rep, nil
+}
+
+// FormatScale renders the report as a table.
+func FormatScale(r ScaleReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel scale sweep (dissemination barrier, %d iterations)\n", scaleIters)
+	fmt.Fprintf(&b, "  %6s %6s %10s %12s %12s %12s %8s %7s %9s %5s\n",
+		"ranks", "lanes", "events", "single ev/s", "shard ev/s", "par ev/s", "speedup", "epochs", "routed", "ident")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %6d %6d %10d %12.0f %12.0f %12.0f %7.2fx %7d %9d %5v\n",
+			p.Ranks, p.Lanes, p.Events, p.SingleEvPerSec, p.ShardEvPerSec, p.ParallelEvPerSec,
+			p.Speedup, p.Epochs, p.Routed, p.Identical)
+	}
+	if len(r.Collectives) > 0 {
+		fmt.Fprintf(&b, "  full-MPI collectives at scale (mem backend, sharded vs single kernel)\n")
+		fmt.Fprintf(&b, "  %10s %6s %8s %12s %8s %5s\n", "op", "ranks", "bytes", "virtual µs", "speedup", "ident")
+		for _, p := range r.Collectives {
+			fmt.Fprintf(&b, "  %10s %6d %8d %12.1f %7.2fx %5v\n", p.Op, p.Ranks, p.Bytes, p.VirtualUs, p.Speedup, p.Identical)
+		}
+	}
+	fmt.Fprintf(&b, "  lane scheduling steady state: %d allocs/event\n", r.LaneAllocsPerOp)
+	return b.String()
+}
+
+// Static floors the gate enforces regardless of baseline.
+const (
+	scaleMinSpeedup = 2.0  // sharded over single at the largest >=1024-rank point
+	scaleGateRanks  = 1024 // the floor applies from this scale up
+)
+
+// CheckScale compares a fresh report against the committed baseline and
+// returns the list of regressions (empty means the gate passes). tol is the
+// fractional slack on events/sec (0.10 = fail on >10% regression).
+// Allocation counts are exact, so any increase fails. base may be nil
+// (first run): only the static floors apply.
+func CheckScale(cur ScaleReport, base *ScaleReport, tol float64) []string {
+	var fails []string
+	if cur.LaneAllocsPerOp != 0 {
+		fails = append(fails, fmt.Sprintf("lane scheduling allocates %d objects/event, want 0", cur.LaneAllocsPerOp))
+	}
+	var gatePoint *ScalePoint
+	for i := range cur.Points {
+		p := &cur.Points[i]
+		if !p.Identical {
+			fails = append(fails, fmt.Sprintf("ranks=%d: kernels diverged (events or virtual time differ between single, sharded, and parallel)", p.Ranks))
+		}
+		if p.Ranks >= scaleGateRanks {
+			gatePoint = p
+		}
+	}
+	if gatePoint == nil {
+		fails = append(fails, fmt.Sprintf("no >=%d-rank point in report", scaleGateRanks))
+	} else if gatePoint.Speedup < scaleMinSpeedup {
+		fails = append(fails, fmt.Sprintf("ranks=%d speedup %.2fx below the %.1fx floor", gatePoint.Ranks, gatePoint.Speedup, scaleMinSpeedup))
+	}
+	for _, p := range cur.Collectives {
+		if !p.Identical {
+			fails = append(fails, fmt.Sprintf("%s ranks=%d: per-rank finish times diverged between kernels", p.Op, p.Ranks))
+		}
+	}
+	if base == nil {
+		return fails
+	}
+	if cur.LaneAllocsPerOp > base.LaneAllocsPerOp {
+		fails = append(fails, fmt.Sprintf("lane allocs/event %d exceeds baseline %d", cur.LaneAllocsPerOp, base.LaneAllocsPerOp))
+	}
+	curByRanks := map[int]ScalePoint{}
+	for _, p := range cur.Points {
+		curByRanks[p.Ranks] = p
+	}
+	for _, bp := range base.Points {
+		p, ok := curByRanks[bp.Ranks]
+		if !ok {
+			// -full baselines carry 16384; plain CI runs stop at 4096.
+			continue
+		}
+		if p.ShardEvPerSec < bp.ShardEvPerSec*(1-tol) {
+			fails = append(fails, fmt.Sprintf("ranks=%d sharded %.0f ev/s regressed >%.0f%% from baseline %.0f",
+				bp.Ranks, p.ShardEvPerSec, tol*100, bp.ShardEvPerSec))
+		}
+		if p.SingleEvPerSec < bp.SingleEvPerSec*(1-tol) {
+			fails = append(fails, fmt.Sprintf("ranks=%d single %.0f ev/s regressed >%.0f%% from baseline %.0f",
+				bp.Ranks, p.SingleEvPerSec, tol*100, bp.SingleEvPerSec))
+		}
+	}
+	return fails
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r ScaleReport) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalScale parses a BENCH_scale.json baseline.
+func UnmarshalScale(data []byte) (ScaleReport, error) {
+	var r ScaleReport
+	err := json.Unmarshal(data, &r)
+	return r, err
+}

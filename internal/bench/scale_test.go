@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleWorldKernelsAgree(t *testing.T) {
+	single := dissemWorld(64, 0, 4, false)
+	seq := dissemWorld(64, 64, 4, false)
+	par := dissemWorld(64, 64, 4, true)
+	if single.events != seq.events || seq.events != par.events {
+		t.Fatalf("event counts diverged: single=%d seq=%d par=%d", single.events, seq.events, par.events)
+	}
+	if single.virtual != seq.virtual || seq.virtual != par.virtual {
+		t.Fatalf("virtual times diverged: single=%v seq=%v par=%v", single.virtual, seq.virtual, par.virtual)
+	}
+	if seq.stats.Routed == 0 {
+		t.Fatal("sharded run routed no cross-lane envelopes")
+	}
+}
+
+func TestScaleCollectiveParitySmall(t *testing.T) {
+	for _, op := range []string{"barrier", "bcast", "allreduce"} {
+		single, _, err := collAtScale(op, 64, 0, 256)
+		if err != nil {
+			t.Fatalf("%s single: %v", op, err)
+		}
+		shard, _, err := collAtScale(op, 64, 64, 256)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", op, err)
+		}
+		for i := range single {
+			if single[i] != shard[i] {
+				t.Fatalf("%s: rank %d finished at %v on single, %v on sharded", op, i, single[i], shard[i])
+			}
+		}
+	}
+}
+
+func TestCheckScaleGate(t *testing.T) {
+	good := ScaleReport{
+		Points: []ScalePoint{
+			{Ranks: 64, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3},
+			{Ranks: 1024, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3},
+		},
+		Collectives: []ScaleCollPoint{{Op: "barrier", Ranks: 1024, Identical: true}},
+	}
+	if fails := CheckScale(good, nil, 0.10); len(fails) != 0 {
+		t.Fatalf("clean report failed the gate: %v", fails)
+	}
+
+	bad := good
+	bad.LaneAllocsPerOp = 1
+	requireFail(t, CheckScale(bad, nil, 0.10), "allocates")
+
+	bad = good
+	bad.Points = append([]ScalePoint(nil), good.Points...)
+	bad.Points[1].Identical = false
+	requireFail(t, CheckScale(bad, nil, 0.10), "diverged")
+
+	bad = good
+	bad.Points = append([]ScalePoint(nil), good.Points...)
+	bad.Points[1].Speedup = 1.5
+	requireFail(t, CheckScale(bad, nil, 0.10), "below the")
+
+	bad = good
+	bad.Points = good.Points[:1] // no >=1024-rank point
+	requireFail(t, CheckScale(bad, nil, 0.10), "no >=1024-rank point")
+
+	bad = good
+	bad.Collectives = []ScaleCollPoint{{Op: "barrier", Ranks: 1024, Identical: false}}
+	requireFail(t, CheckScale(bad, nil, 0.10), "finish times diverged")
+
+	// Baseline comparisons: a >10% events/sec drop fails, a smaller one and
+	// a baseline-only 16384 point do not.
+	base := good
+	base.Points = append([]ScalePoint(nil), good.Points...)
+	base.Points = append(base.Points, ScalePoint{Ranks: 16384, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3})
+	cur := good
+	cur.Points = append([]ScalePoint(nil), good.Points...)
+	cur.Points[1].ShardEvPerSec = 3e6 * 0.95
+	if fails := CheckScale(cur, &base, 0.10); len(fails) != 0 {
+		t.Fatalf("5%% drop tripped the 10%% gate: %v", fails)
+	}
+	cur.Points[1].ShardEvPerSec = 3e6 * 0.8
+	requireFail(t, CheckScale(cur, &base, 0.10), "regressed")
+
+	cur = good
+	base.LaneAllocsPerOp = 0
+	cur.LaneAllocsPerOp = 0
+	base2 := base
+	cur2 := cur
+	cur2.LaneAllocsPerOp = 0
+	base2.LaneAllocsPerOp = -1 // any increase over baseline fails
+	requireFail(t, CheckScale(cur2, &base2, 0.10), "exceeds baseline")
+}
+
+func requireFail(t *testing.T, fails []string, substr string) {
+	t.Helper()
+	for _, f := range fails {
+		if strings.Contains(f, substr) {
+			return
+		}
+	}
+	t.Fatalf("gate did not report %q: %v", substr, fails)
+}
+
+func TestScaleReportRoundTrip(t *testing.T) {
+	rep := ScaleReport{
+		Points:          []ScalePoint{{Ranks: 64, Lanes: 64, Events: 7744, Identical: true, Speedup: 2.5}},
+		Collectives:     []ScaleCollPoint{{Op: "bcast", Ranks: 1024, Bytes: 1024, Identical: true}},
+		LaneAllocsPerOp: 0,
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalScale(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 1 || back.Points[0].Ranks != 64 || len(back.Collectives) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}

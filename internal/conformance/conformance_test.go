@@ -185,3 +185,50 @@ func TestSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemShardedConformance sweeps the full suite over the sharded kernel:
+// every scenario must pass and stay internally deterministic with ranks
+// spread across lanes (including lane counts that divide the world
+// unevenly).
+func TestMemShardedConformance(t *testing.T) {
+	for _, lanes := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("lanes%d", lanes), func(t *testing.T) {
+			spec := registry.Spec{Platform: "mem", Credit: 4096, Lanes: lanes}
+			if err := Run(factory(t, spec), seeds[:2]); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMemShardedMatchesSingleLane runs every scenario on the single-lane
+// and sharded kernels and requires identical per-rank virtual finish
+// times: sharding is a kernel implementation detail, not a model change.
+func TestMemShardedMatchesSingleLane(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			var elapsed [2][]int64
+			for i, lanes := range []int{0, 3} {
+				spec := registry.Spec{Platform: "mem", Credit: 4096, Lanes: lanes, Ranks: sc.Ranks}
+				w, err := registry.Build(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := mpi.Launch(w, func(c *mpi.Comm) error { return sc.Body(c, seeds[0]) })
+				if err != nil {
+					t.Fatalf("lanes %d: %v", lanes, err)
+				}
+				elapsed[i] = make([]int64, len(rep.RankElapsed))
+				for r, d := range rep.RankElapsed {
+					elapsed[i][r] = int64(d)
+				}
+			}
+			for r := range elapsed[0] {
+				if elapsed[0][r] != elapsed[1][r] {
+					t.Errorf("rank %d: single %dns, sharded %dns", r, elapsed[0][r], elapsed[1][r])
+				}
+			}
+		})
+	}
+}

@@ -11,12 +11,21 @@ import (
 // It exists to test the engine's protocol logic in isolation from any
 // platform cost model, and as the executable specification of the
 // Transport contract that the Meiko and cluster transports implement.
+//
+// The fabric runs on either kernel: on a single scheduler (NewMemFabric)
+// every delivery is a plain timer event, and on a shard
+// (NewShardedMemFabric) each rank's endpoint lives on its node's lane and
+// deliveries cross lanes through Route — the flat Latency is the shard's
+// natural lookahead bound.
 type MemFabric struct {
 	S        *sim.Scheduler
 	Latency  sim.Duration
 	Eager    int // eager/rendezvous crossover in bytes
 	Credits  int // per-(sender,receiver) bounce bytes; 0 means unlimited
 	PollCost sim.Duration
+
+	sh     *sim.Shard
+	laneOf []int // world rank -> lane; nil when single-scheduler
 
 	eps map[int]*MemTransport
 }
@@ -27,15 +36,54 @@ func NewMemFabric(s *sim.Scheduler, latency sim.Duration, eager int) *MemFabric 
 	return &MemFabric{S: s, Latency: latency, Eager: eager, eps: make(map[int]*MemTransport)}
 }
 
-// Attach creates the rank's transport and wires it to engine e.
+// NewShardedMemFabric returns a fabric whose rank endpoints are pinned to
+// shard lanes by laneOf (world rank -> lane). The fabric latency must be at
+// least the shard's lookahead, or cross-lane deliveries would land inside
+// the epoch window.
+func NewShardedMemFabric(sh *sim.Shard, laneOf []int, latency sim.Duration, eager int) *MemFabric {
+	if latency < sh.Lookahead() {
+		panic(fmt.Sprintf("memtransport: fabric latency %v below shard lookahead %v", latency, sh.Lookahead()))
+	}
+	return &MemFabric{
+		S: sh.Lane(0), Latency: latency, Eager: eager,
+		sh: sh, laneOf: laneOf, eps: make(map[int]*MemTransport),
+	}
+}
+
+// schedFor reports the scheduler owning rank's endpoint.
+func (f *MemFabric) schedFor(rank int) *sim.Scheduler {
+	if f.sh == nil {
+		return f.S
+	}
+	return f.sh.Lane(f.laneOf[rank])
+}
+
+// laneFor reports rank's lane (0 on a single scheduler, where Route
+// degrades to a local timer anyway).
+func (f *MemFabric) laneFor(rank int) int {
+	if f.laneOf == nil {
+		return 0
+	}
+	return f.laneOf[rank]
+}
+
+// crossLane reports whether a and b live on different lanes.
+func (f *MemFabric) crossLane(a, b int) bool {
+	return f.laneOf != nil && f.laneOf[a] != f.laneOf[b]
+}
+
+// Attach creates the rank's transport and wires it to engine e. In a
+// sharded fabric, e must have been built on its rank's lane scheduler.
 func (f *MemFabric) Attach(e *Engine) *MemTransport {
+	s := f.schedFor(e.Rank())
 	t := &MemTransport{
 		fab:       f,
 		eng:       e,
+		s:         s,
 		rank:      e.Rank(),
 		avail:     make(map[int]int),
 		sendQ:     make(map[int][]*Request),
-		creditCnd: sim.NewCond(f.S),
+		creditCnd: sim.NewCond(s),
 	}
 	f.eps[e.Rank()] = t
 	e.SetTransport(t)
@@ -46,8 +94,10 @@ func (f *MemFabric) Attach(e *Engine) *MemTransport {
 type MemTransport struct {
 	fab   *MemFabric
 	eng   *Engine
+	s     *sim.Scheduler // this rank's (lane) scheduler
 	rank  int
 	inbox []*Packet
+	inPos int // consumed prefix of inbox; avoids O(n) head shifts
 
 	// Sender-side credit state per destination; lazily initialized to the
 	// fabric's credit allotment.
@@ -74,10 +124,13 @@ func (t *MemTransport) creditsFor(dst int) int {
 	return t.avail[dst]
 }
 
-// deliver ships pkt to dst after the fabric latency.
+// deliver ships pkt to dst after the fabric latency. Every call site runs
+// on t's own lane (sends from the rank's proc, credit/CTS turnarounds from
+// delivery context), so Route's staging is always lane-local; on a
+// single-scheduler fabric Route degrades to a plain timer.
 func (t *MemTransport) deliver(dst int, pkt *Packet) {
 	t.NSent++
-	t.fab.S.After(t.fab.Latency, func() {
+	t.s.RouteAfter(t.fab.laneFor(dst), t.fab.Latency, func() {
 		peer := t.fab.eps[dst]
 		if peer == nil {
 			panic(fmt.Sprintf("memtransport: no endpoint for rank %d", dst))
@@ -118,12 +171,22 @@ func (t *MemTransport) drainSendQ(dst int) {
 	t.sendQ[dst] = q
 }
 
-func (t *MemTransport) sendEager(req *Request) {
-	// Bounce space comes from the sender engine's pool; the receiving
-	// engine recycles it after copy-out (single-scheduler worlds make the
-	// cross-rank Put safe).
+// bounce allocates delivery storage for a payload copy. Same-lane (and
+// single-scheduler) transfers draw from the sender engine's pool and the
+// receiving engine recycles the buffer after copy-out — safe because both
+// ends share one scheduler. A cross-lane Put would mutate the source
+// lane's freelist from the destination lane, so those transfers use plain
+// GC-owned buffers (Pool nil) instead.
+func (t *MemTransport) bounce(dst, n int) ([]byte, *BufPool) {
+	if t.fab.crossLane(t.rank, dst) {
+		return make([]byte, n), nil
+	}
 	pool := t.eng.Pool()
-	data := pool.Get(len(req.Buf))
+	return pool.Get(n), pool
+}
+
+func (t *MemTransport) sendEager(req *Request) {
+	data, pool := t.bounce(req.Env.Dest, len(req.Buf))
 	copy(data, req.Buf)
 	t.deliver(req.Env.Dest, &Packet{Kind: PktEager, Env: req.Env, Data: data, Pool: pool})
 }
@@ -160,8 +223,7 @@ func (t *MemTransport) Accept(p *sim.Proc, msg *InMsg, req *Request) {
 // SendPayload implements Transport: the CTS surfaced at the sender; move
 // the payload straight into the posted receive.
 func (t *MemTransport) SendPayload(p *sim.Proc, req *Request, pkt *Packet) {
-	pool := t.eng.Pool()
-	data := pool.Get(len(req.Buf))
+	data, pool := t.bounce(req.Env.Dest, len(req.Buf))
 	copy(data, req.Buf)
 	recvID, _ := pkt.Handle.(int64)
 	t.deliver(req.Env.Dest, &Packet{Kind: PktData, Env: req.Env, ReqID: recvID, Data: data, Pool: pool})
@@ -182,16 +244,23 @@ func (t *MemTransport) Release(p *sim.Proc, src int, n int) {
 	t.deliver(src, &Packet{Kind: PktCredit, Env: Envelope{Dest: t.rank, Count: n}})
 }
 
-// Poll implements Transport.
+// Poll implements Transport. The inbox keeps a consumed-prefix index and
+// recycles its backing array once drained, so steady-state polling neither
+// shifts nor reallocates.
 func (t *MemTransport) Poll(p *sim.Proc) *Packet {
-	if len(t.inbox) == 0 {
+	if t.inPos == len(t.inbox) {
 		return nil
 	}
 	t.eng.Acct().Charge(p, CostProtocol, t.fab.PollCost)
-	pkt := t.inbox[0]
-	t.inbox = t.inbox[1:]
+	pkt := t.inbox[t.inPos]
+	t.inbox[t.inPos] = nil
+	t.inPos++
+	if t.inPos == len(t.inbox) {
+		t.inbox = t.inbox[:0]
+		t.inPos = 0
+	}
 	return pkt
 }
 
 // Pending implements Transport.
-func (t *MemTransport) Pending() bool { return len(t.inbox) > 0 }
+func (t *MemTransport) Pending() bool { return t.inPos < len(t.inbox) }

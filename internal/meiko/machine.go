@@ -10,6 +10,13 @@ import (
 // broadcast. The network model charges a per-packet wire latency plus
 // per-byte serialization on the sender's injection port; each node's Elan
 // is a serial resource, so co-processor occupancy queues realistically.
+//
+// A machine can be built on a single scheduler (NewMachine) or with its
+// nodes pinned to shard lanes (NewShardedMachine): each node's Elan and
+// injection-port FIFOs then live on that node's lane, and the wire-latency
+// hop between nodes crosses lanes through Route — WireLatency is the
+// natural lookahead bound. The staged fat-tree model shares switch stages
+// across all node pairs and therefore only runs on the single-lane kernel.
 type Machine struct {
 	S     *sim.Scheduler
 	Costs Costs
@@ -17,27 +24,52 @@ type Machine struct {
 	// Tree, when set (see NewFatTree), routes unicast traffic through the
 	// staged fat-tree model instead of the flat-latency wire.
 	Tree *FatTree
+
+	sharded bool
 }
 
 // NewMachine builds an n-node CS/2 on scheduler s.
 func NewMachine(s *sim.Scheduler, n int, c Costs) *Machine {
 	m := &Machine{S: s, Costs: c}
 	for i := 0; i < n; i++ {
-		m.Nodes = append(m.Nodes, &Node{
-			ID:   i,
-			M:    m,
-			Elan: sim.NewFIFO(s, fmt.Sprintf("elan%d", i)),
-			Out:  sim.NewFIFO(s, fmt.Sprintf("link%d", i)),
-		})
+		m.Nodes = append(m.Nodes, newNode(m, i, s, 0))
 	}
 	return m
 }
 
+// NewShardedMachine builds an n-node CS/2 with node i pinned to lane
+// laneOf[i]. The wire latency must be at least the shard's lookahead or
+// cross-node deliveries would land inside the epoch window.
+func NewShardedMachine(sh *sim.Shard, laneOf []int, n int, c Costs) *Machine {
+	if sim.Duration(c.WireLatency) < sh.Lookahead() {
+		panic(fmt.Sprintf("meiko: wire latency %v below shard lookahead %v", c.WireLatency, sh.Lookahead()))
+	}
+	m := &Machine{S: sh.Lane(0), Costs: c, sharded: true}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, newNode(m, i, sh.Lane(laneOf[i]), laneOf[i]))
+	}
+	return m
+}
+
+func newNode(m *Machine, id int, s *sim.Scheduler, lane int) *Node {
+	return &Node{
+		ID:   id,
+		M:    m,
+		S:    s,
+		Lane: lane,
+		Elan: sim.NewFIFO(s, fmt.Sprintf("elan%d", id)),
+		Out:  sim.NewFIFO(s, fmt.Sprintf("link%d", id)),
+	}
+}
+
 // Node is one CS/2 node: the SPARC is modeled by whatever proc runs the
-// application; the Elan and the injection port are serial resources.
+// application; the Elan and the injection port are serial resources, both
+// owned by the node's scheduler (its shard lane, when sharded).
 type Node struct {
 	ID   int
 	M    *Machine
+	S    *sim.Scheduler // this node's (lane) scheduler
+	Lane int
 	Elan *sim.FIFO // Elan co-processor occupancy
 	Out  *sim.FIFO // network injection port
 	Port *Tport    // attached tport widget, if any
@@ -58,7 +90,7 @@ func (n *Node) Txn(dst int, nbytes int, elanIssued bool, deliver func()) {
 	send := func() {
 		wire := sim.Duration(nbytes) * c.TxnPerByte
 		n.Out.UseAsync(wire, func() {
-			n.M.transit(n.ID, dst, nbytes, c.TxnPerByte, func() {
+			n.M.transit(n, dst, nbytes, c.TxnPerByte, func() {
 				n.M.Nodes[dst].Elan.UseAsync(c.ElanTxnHandle, deliver)
 			})
 		})
@@ -84,7 +116,7 @@ func (n *Node) DMA(dst int, nbytes int, onLocal, onRemote func()) {
 			if onLocal != nil {
 				onLocal()
 			}
-			n.M.transit(n.ID, dst, nbytes, c.DMAPerByte, func() {
+			n.M.transit(n, dst, nbytes, c.DMAPerByte, func() {
 				n.M.Nodes[dst].Elan.UseAsync(c.ElanDMARecv, func() {
 					if onRemote != nil {
 						onRemote()
@@ -113,7 +145,9 @@ func (n *Node) Broadcast(nbytes int, onLocal func(), deliver func(dst *Node)) {
 					continue
 				}
 				dst := d
-				n.M.S.After(c.WireLatency+skew, func() {
+				// The fan-out hop leaves the source node: route to each
+				// destination's lane (a local timer when unsharded).
+				n.S.RouteAfter(dst.Lane, c.WireLatency+skew, func() {
 					dst.Elan.UseAsync(c.ElanDMARecv, func() { deliver(dst) })
 				})
 				skew += c.BcastPerNode
@@ -124,13 +158,20 @@ func (n *Node) Broadcast(nbytes int, onLocal func(), deliver func(dst *Node)) {
 
 // transit carries nbytes from src to dst: through the fat tree when one
 // is attached, otherwise at the flat wire latency (the serialization on
-// the source injection port has already been paid by the caller).
-func (m *Machine) transit(src, dst, nbytes int, perByte sim.Duration, fn func()) {
+// the source injection port has already been paid by the caller). The
+// wire hop is where traffic leaves the source node's lane, so fn runs on
+// the destination's scheduler; on a single-scheduler machine Route
+// degrades to a plain timer and the timing is bit-identical to the
+// historical After path.
+func (m *Machine) transit(src *Node, dst, nbytes int, perByte sim.Duration, fn func()) {
 	if m.Tree != nil {
-		m.Tree.Deliver(src, dst, nbytes, perByte, fn)
+		if m.sharded {
+			panic("meiko: the staged fat-tree model shares switch stages world-globally and cannot run on a sharded machine")
+		}
+		m.Tree.Deliver(src.ID, dst, nbytes, perByte, fn)
 		return
 	}
-	m.S.After(m.Costs.WireLatency, fn)
+	src.S.RouteAfter(m.Nodes[dst].Lane, m.Costs.WireLatency, fn)
 }
 
 // Event is an Elan event word: device completions set it, the SPARC waits
@@ -144,9 +185,16 @@ type Event struct {
 	cond *sim.Cond
 }
 
-// NewEvent returns an unset event on machine m.
+// NewEvent returns an unset event on machine m (on lane 0 of a sharded
+// machine; node-local events come from Node.NewEvent).
 func (m *Machine) NewEvent() *Event {
 	return &Event{s: m.S, c: m.Costs, cond: sim.NewCond(m.S)}
+}
+
+// NewEvent returns an unset event owned by n's scheduler, so waits and
+// device completions stay lane-local on a sharded machine.
+func (n *Node) NewEvent() *Event {
+	return &Event{s: n.S, c: n.M.Costs, cond: sim.NewCond(n.S)}
 }
 
 // Set marks the event and wakes waiters. Safe from event context.

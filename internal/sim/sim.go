@@ -11,11 +11,20 @@
 // computation or device occupancy) or by blocking on a Cond/FIFO until some
 // event wakes it. Event ordering is (time, sequence), so runs are fully
 // deterministic for a given program and seed.
+//
+// Two kernels share this machinery. The default single-lane kernel above is
+// the reference: one Scheduler, one event queue, channel handoffs. The
+// sharded kernel (see Shard) partitions a world into per-node lanes — each
+// lane is a Scheduler in its own right — synchronized by a conservative
+// lookahead barrier; lane procs switch on runtime coroutines (iter.Pull)
+// instead of channels, which removes the goroutine round-trip per switch.
+// Scheduling is allocation-free in both: events are pooled on an intrusive
+// freelist and proc wakeups are typed events, not closures.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -38,29 +47,68 @@ func (t Time) Duration() Duration { return Duration(t) }
 
 func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
 
+// event is one queue entry: either a callback (fn) or a proc wakeup (proc).
+// Proc wakeups carry the proc pointer instead of a closure so the Advance/
+// Cond/FIFO hot paths schedule without allocating. Recycled events chain
+// through next on the scheduler's freelist.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+	next *event // freelist link while recycled
 }
 
-type eventHeap []*event
+// eventQueue is a binary min-heap over (t, seq), hand-rolled so push/pop
+// stay monomorphic: no interface boxing, no container/heap indirection, and
+// the backing slice is reused for the life of the scheduler.
+type eventQueue []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (q eventQueue) less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (q *eventQueue) push(e *event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() *event {
+	h := *q
+	n := len(h) - 1
+	e := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 	return e
 }
 
@@ -69,19 +117,33 @@ func (h *eventHeap) Pop() any {
 // A Scheduler must be driven by Run (or Step) from the goroutine that
 // created it. Event callbacks and Proc bodies may freely schedule further
 // events, spawn procs, and signal conditions.
+//
+// A Scheduler may also be one lane of a Shard (see NewShard), in which case
+// it is driven by the shard's epoch loop instead of Run, and cross-lane
+// events go through Route.
 type Scheduler struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
+	free    *event // event freelist (intrusive, via event.next)
 	seq     uint64
 	yield   chan struct{} // proc -> scheduler: parked or finished
 	procs   map[*Proc]struct{}
 	current *Proc // proc holding the execution token, nil if scheduler
 	rng     *rand.Rand
 	stopped bool
+	coro    bool // lane mode: procs switch on coroutines, not channels
 	// Limits guard against runaway models; zero means no limit.
 	MaxEvents uint64
 	MaxTime   Time
 	nEvents   uint64
+
+	// Lane wiring; zero-valued for a standalone scheduler.
+	shard  *Shard
+	lane   int
+	xseq   uint64  // staging order of cross-lane sends from this lane
+	outbox []*xmsg // cross-lane sends staged until the epoch barrier
+	xfree  *xmsg   // mailbox envelope freelist
+	window Time    // current epoch horizon (lane mode; events < window run)
 }
 
 // NewScheduler returns a Scheduler with the deterministic RNG seeded by seed.
@@ -98,30 +160,78 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // Rand exposes the run's deterministic random source. It must only be used
 // while holding the execution token (i.e. from proc bodies or event
-// callbacks), which all model code does by construction.
+// callbacks), which all model code does by construction. Each lane of a
+// shard has its own stream.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at time t (clamped to now). fn runs with the
-// execution token held, in scheduler context.
-func (s *Scheduler) At(t Time, fn func()) {
+// LaneID reports which shard lane this scheduler is, or -1 for a standalone
+// (single-lane kernel) scheduler.
+func (s *Scheduler) LaneID() int {
+	if s.shard == nil {
+		return -1
+	}
+	return s.lane
+}
+
+// Shard reports the shard this scheduler is a lane of, or nil.
+func (s *Scheduler) Shard() *Shard { return s.shard }
+
+// alloc draws a recycled event or grows the pool by one.
+func (s *Scheduler) alloc() *event {
+	e := s.free
+	if e == nil {
+		return &event{}
+	}
+	s.free = e.next
+	e.next = nil
+	return e
+}
+
+// release recycles e onto the freelist. Callers must have copied out any
+// fields they still need.
+func (s *Scheduler) release(e *event) {
+	e.fn, e.proc = nil, nil
+	e.next = s.free
+	s.free = e
+}
+
+func (s *Scheduler) schedule(t Time, fn func(), p *Proc) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+	e := s.alloc()
+	e.t, e.seq, e.fn, e.proc = t, s.seq, fn, p
+	s.events.push(e)
 }
+
+// At schedules fn to run at time t (clamped to now). fn runs with the
+// execution token held, in scheduler context.
+func (s *Scheduler) At(t Time, fn func()) { s.schedule(t, fn, nil) }
 
 // After schedules fn to run d from now.
 func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now+Time(d), fn) }
 
+// atProc schedules a proc wakeup without allocating a closure.
+func (s *Scheduler) atProc(t Time, p *Proc) { s.schedule(t, nil, p) }
+
 // Proc is a logical process: a goroutine whose execution interleaves with
-// events under the scheduler's single execution token.
+// events under the scheduler's single execution token. On a standalone
+// scheduler the handoff is a channel pair; on a shard lane it is a runtime
+// coroutine switch (iter.Pull), which is several times cheaper.
 type Proc struct {
-	s      *Scheduler
-	name   string
+	s     *Scheduler
+	name  string
+	state procState
+	done  bool
+
+	// Channel kernel.
 	resume chan struct{}
-	state  procState
-	done   bool
+
+	// Coroutine kernel.
+	next    func() (struct{}, bool)
+	stop    func()
+	yieldTo func(struct{}) bool
 }
 
 type procState int
@@ -132,6 +242,10 @@ const (
 	procParked
 	procDone
 )
+
+// procStopped is the panic sentinel that unwinds a coroutine proc during
+// Shutdown without running further user code.
+type procStopped struct{}
 
 // Name reports the name the proc was spawned with.
 func (p *Proc) Name() string { return p.name }
@@ -145,17 +259,43 @@ func (p *Proc) Now() Time { return p.s.now }
 // Spawn creates a proc named name running fn, starting at the current
 // virtual time (after already-queued events at this time).
 func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	p := &Proc{s: s, name: name}
 	s.procs[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for first dispatch
-		fn(p)
-		p.state = procDone
-		p.done = true
-		delete(s.procs, p)
-		s.yield <- struct{}{}
-	}()
-	s.At(s.now, func() { s.dispatch(p) })
+	if s.coro {
+		p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+			p.yieldTo = yield
+			defer func() {
+				p.state = procDone
+				p.done = true
+				delete(s.procs, p)
+				if r := recover(); r != nil {
+					if _, ok := r.(procStopped); !ok {
+						panic(r)
+					}
+				}
+			}()
+			fn(p)
+		})
+	} else {
+		p.resume = make(chan struct{})
+		go func() {
+			<-p.resume // wait for first dispatch
+			if s.stopped {
+				// Shut down before ever running: exit without user code.
+				p.state = procDone
+				p.done = true
+				delete(s.procs, p)
+				s.yield <- struct{}{}
+				return
+			}
+			fn(p)
+			p.state = procDone
+			p.done = true
+			delete(s.procs, p)
+			s.yield <- struct{}{}
+		}()
+	}
+	s.atProc(s.now, p)
 	return p
 }
 
@@ -168,8 +308,12 @@ func (s *Scheduler) dispatch(p *Proc) {
 	prev := s.current
 	s.current = p
 	p.state = procRunning
-	p.resume <- struct{}{}
-	<-s.yield
+	if s.coro {
+		p.next()
+	} else {
+		p.resume <- struct{}{}
+		<-s.yield
+	}
 	s.current = prev
 }
 
@@ -179,14 +323,22 @@ func (s *Scheduler) dispatch(p *Proc) {
 // instead of resuming user code.
 func (p *Proc) park() {
 	p.state = procParked
-	p.s.yield <- struct{}{}
-	<-p.resume
-	if p.s.stopped {
-		p.state = procDone
-		p.done = true
-		delete(p.s.procs, p)
-		p.s.yield <- struct{}{}
-		runtime.Goexit()
+	s := p.s
+	if s.coro {
+		if !p.yieldTo(struct{}{}) {
+			// Shutdown stopped the coroutine: unwind without user code.
+			panic(procStopped{})
+		}
+	} else {
+		s.yield <- struct{}{}
+		<-p.resume
+		if s.stopped {
+			p.state = procDone
+			p.done = true
+			delete(s.procs, p)
+			s.yield <- struct{}{}
+			runtime.Goexit()
+		}
 	}
 	p.state = procRunning
 }
@@ -198,7 +350,7 @@ func (p *Proc) Advance(d Duration) {
 		d = 0
 	}
 	s := p.s
-	s.At(s.now+Time(d), func() { s.dispatch(p) })
+	s.atProc(s.now+Time(d), p)
 	p.park()
 }
 
@@ -213,6 +365,7 @@ func (p *Proc) Yield() { p.Advance(0) }
 type Cond struct {
 	s       *Scheduler
 	waiters []*Proc
+	head    int // index of the longest waiter; avoids O(n) head shifts
 }
 
 // NewCond returns a condition variable bound to s.
@@ -224,32 +377,47 @@ func (c *Cond) Wait(p *Proc) {
 	p.park()
 }
 
-// Signal wakes the longest-waiting proc, if any.
+// Signal wakes the longest-waiting proc, if any. It runs in O(1): the wait
+// queue keeps a head index instead of shifting the slice — Signal sits on
+// the wakeup path of every credit and slot stall.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.head == len(c.waiters) {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.s.At(c.s.now, func() { c.s.dispatch(p) })
+	p := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	} else if c.head >= 32 && c.head*2 >= len(c.waiters) {
+		// Compact so a never-drained queue cannot grow without bound.
+		n := copy(c.waiters, c.waiters[c.head:])
+		clear(c.waiters[n:])
+		c.waiters = c.waiters[:n]
+		c.head = 0
+	}
+	c.s.atProc(c.s.now, p)
 }
 
 // Broadcast wakes all waiting procs in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		q := p
-		c.s.At(c.s.now, func() { c.s.dispatch(q) })
+	for i := c.head; i < len(c.waiters); i++ {
+		c.s.atProc(c.s.now, c.waiters[i])
+		c.waiters[i] = nil
 	}
+	c.waiters = c.waiters[:0]
+	c.head = 0
 }
 
 // Waiting reports how many procs are blocked on c.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return len(c.waiters) - c.head }
 
 // FIFO models a serially-reusable resource: a link, bus, DMA engine, or
 // shared medium. Use occupies the resource for a span of virtual time;
-// contending users are served in FIFO order.
+// contending users are served in FIFO order. In a sharded world a FIFO
+// belongs to the lane of the scheduler it was built on — media pin each
+// node's FIFOs to that node's lane so reservations stay lane-local.
 type FIFO struct {
 	s         *Scheduler
 	name      string
@@ -325,24 +493,38 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("sim: %s limit exceeded at %v after %d events", e.What, e.At, e.Events)
 }
 
+// runEvent executes one popped event: the event is recycled before its
+// payload runs, so a chain of self-rescheduling events reuses one node.
+func (s *Scheduler) runEvent(e *event) {
+	s.now = e.t
+	s.nEvents++
+	fn, p := e.fn, e.proc
+	s.release(e)
+	if p != nil {
+		s.dispatch(p)
+	} else {
+		fn()
+	}
+}
+
 // Step runs the single earliest pending event. It reports false when the
 // queue is empty.
 func (s *Scheduler) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.t
-	s.nEvents++
-	e.fn()
+	s.runEvent(s.events.pop())
 	return true
 }
 
 // Run drives the simulation until the event queue drains. It returns the
 // final virtual time. If procs remain parked when the queue drains, Run
 // returns a *DeadlockError; if a configured limit is exceeded it returns a
-// *LimitError.
+// *LimitError. Lanes of a shard are driven by Shard.Run instead.
 func (s *Scheduler) Run() (Time, error) {
+	if s.shard != nil {
+		panic("sim: lane schedulers are driven by Shard.Run, not Scheduler.Run")
+	}
 	for s.Step() {
 		if s.MaxEvents != 0 && s.nEvents > s.MaxEvents {
 			return s.now, &LimitError{At: s.now, Events: s.nEvents, What: "event"}
@@ -366,19 +548,33 @@ func (s *Scheduler) Run() (Time, error) {
 func (s *Scheduler) Events() uint64 { return s.nEvents }
 
 // Shutdown terminates every parked proc goroutine (they exit inside park
-// without running further user code). Call after Run returns an error
-// (deadlock, limit) to avoid leaking goroutines; a clean Run has nothing
-// left to stop.
+// without running further user code; procs spawned but never dispatched
+// exit without running any user code at all). Call after Run returns an
+// error (deadlock, limit) to avoid leaking goroutines; a clean Run has
+// nothing left to stop. Shutdown is linear in the number of procs: the
+// survivors are collected once, then each is woken exactly once — procs
+// remove themselves from the table as they exit.
 func (s *Scheduler) Shutdown() {
 	s.stopped = true
-	for len(s.procs) > 0 {
-		var p *Proc
-		for q := range s.procs {
-			p = q
-			break
+	ps := make([]*Proc, 0, len(s.procs))
+	for p := range s.procs {
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		if p.done {
+			continue
 		}
-		// Wake the proc; park observes stopped and exits the goroutine.
-		p.resume <- struct{}{}
-		<-s.yield
+		if s.coro {
+			// stop resumes the suspended coroutine with yield -> false;
+			// park unwinds it without user code. A proc that was never
+			// dispatched never runs at all.
+			p.stop()
+			p.done = true
+			p.state = procDone
+			delete(s.procs, p)
+		} else {
+			p.resume <- struct{}{}
+			<-s.yield
+		}
 	}
 }

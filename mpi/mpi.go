@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/coll"
@@ -76,13 +77,47 @@ type World struct {
 	// size, and platform capability.
 	Tune     Tuning
 	eps      []core.Endpoint
+	mu       sync.Mutex // guards nextCtx (ranks may run on parallel lanes)
 	nextCtx  int
 	rankDone []sim.Time
+
+	// Sharded-kernel wiring; nil/empty on single-scheduler worlds. Sh is
+	// the control plane and laneOf maps world rank -> lane; Launch spawns
+	// each rank on its lane and drives Sh.Run instead of S.Run.
+	Sh     *sim.Shard
+	laneOf []int
+
+	// group is the world communicator's identity rank mapping, built once
+	// and shared read-only by every rank's Comm — at thousands of ranks,
+	// per-rank copies cost O(n²) memory and blow the cache on every
+	// worldRank translation.
+	group []int
 }
 
 // NewWorld wraps endpoints (one per rank, indexed by rank) into a world.
 func NewWorld(s *sim.Scheduler, eps []core.Endpoint) *World {
-	return &World{S: s, eps: eps, nextCtx: 2, rankDone: make([]sim.Time, len(eps))}
+	group := make([]int, len(eps))
+	for i := range group {
+		group[i] = i
+	}
+	return &World{S: s, eps: eps, nextCtx: 2, rankDone: make([]sim.Time, len(eps)), group: group}
+}
+
+// NewShardedWorld wraps endpoints built on sh's lanes (rank i's endpoint
+// on lane laneOf[i]) into a world driven by the sharded kernel. W.S is
+// lane 0, for callers that need a scheduler handle for world-global state.
+func NewShardedWorld(sh *sim.Shard, eps []core.Endpoint, laneOf []int) *World {
+	w := NewWorld(sh.Lane(0), eps)
+	w.Sh, w.laneOf = sh, laneOf
+	return w
+}
+
+// Sched reports the scheduler that owns rank r.
+func (w *World) Sched(r int) *sim.Scheduler {
+	if w.Sh == nil {
+		return w.S
+	}
+	return w.Sh.Lane(w.laneOf[r])
 }
 
 // Size reports the number of ranks.
@@ -137,10 +172,15 @@ func (w *World) tuning() coll.Tuning {
 // allocCtxPair hands out a fresh (point-to-point, collective) context-id
 // pair. Callers must invoke it from exactly one rank per communicator
 // creation and distribute the result (Dup/Split do this at their root),
-// mirroring how real implementations agree on context ids.
+// mirroring how real implementations agree on context ids. The mutex makes
+// concurrent creations from different communicators safe when ranks run on
+// parallel shard lanes (ids are agreed over messages, so allocation order
+// never affects timing).
 func (w *World) allocCtxPair() int {
+	w.mu.Lock()
 	c := w.nextCtx
 	w.nextCtx += 2
+	w.mu.Unlock()
 	return c
 }
 
@@ -157,12 +197,10 @@ type Comm struct {
 }
 
 // NewRankComm builds rank r's world communicator; used by platform runners.
+// The identity group is shared across ranks (communicator groups are
+// read-only after creation; Dup/Split build fresh ones).
 func NewRankComm(w *World, r int, p *sim.Proc) *Comm {
-	group := make([]int, len(w.eps))
-	for i := range group {
-		group[i] = i
-	}
-	return &Comm{w: w, p: p, ep: w.eps[r], ctx: 0, group: group, rank: r, tune: w.tuning()}
+	return &Comm{w: w, p: p, ep: w.eps[r], ctx: 0, group: w.group, rank: r, tune: w.tuning()}
 }
 
 // Rank reports the calling process's rank in the communicator.

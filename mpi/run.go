@@ -27,6 +27,11 @@ type Report struct {
 	// (e.g. a ready-mode send that arrived before its receive was posted)
 	// — erroneous-program conditions MPI cannot attach to a call.
 	Protocol []error
+	// Events is the total simulation events the run executed.
+	Events uint64
+	// Shard holds the control-plane counters when the world ran on the
+	// sharded kernel; nil on the single-lane kernel.
+	Shard *sim.ShardStats
 }
 
 // IsLinkDown reports whether err carries the typed link-failure code a
@@ -61,7 +66,7 @@ func Launch(w *World, body func(c *Comm) error) (*Report, error) {
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		w.S.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		w.Sched(i).Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			c := NewRankComm(w, i, p)
 			rep.Errs[i] = body(c)
 			if rep.Errs[i] == nil {
@@ -72,10 +77,29 @@ func Launch(w *World, body func(c *Comm) error) (*Report, error) {
 			rep.RankElapsed[i] = p.Now().Duration()
 		})
 	}
-	end, err := w.S.Run()
-	if err != nil {
-		// Reap parked rank goroutines so failed runs don't leak.
-		w.S.Shutdown()
+	var end sim.Time
+	var err error
+	if w.Sh != nil {
+		end, err = w.Sh.Run()
+		if err != nil {
+			w.Sh.Shutdown()
+		}
+		st := w.Sh.Stats()
+		rep.Shard = &st
+		rep.Events = st.Events
+		// Fold the control-plane counters into the merged account so every
+		// reporting surface (cmd/trace, bench JSON) sees them.
+		rep.Acct.Incr("shard-epochs", int64(st.Epochs))
+		rep.Acct.Incr("shard-stalls", int64(st.Stalls))
+		rep.Acct.Incr("shard-routed", int64(st.Routed))
+		rep.Acct.SetMax("shard-mailbox-max", int64(st.MailboxHighWater))
+	} else {
+		end, err = w.S.Run()
+		if err != nil {
+			// Reap parked rank goroutines so failed runs don't leak.
+			w.S.Shutdown()
+		}
+		rep.Events = w.S.Events()
 	}
 	rep.Elapsed = end.Duration()
 	for i := 0; i < n; i++ {

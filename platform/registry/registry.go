@@ -37,6 +37,7 @@ type Spec struct {
 	Transport string // cluster transport: "tcp" | "udp" | "unet" ("" = tcp)
 	Network   string // cluster network: "atm" | "eth" ("" = atm)
 	Ranks     int
+	Lanes     int   // sharded-kernel lanes (0/1 = single-lane kernel; mem backend only)
 	Eager     int   // eager/rendezvous crossover bytes (0 = platform default)
 	Credit    int   // cluster per-pair reserved receiver bytes (0 = default)
 	Costs     any   // platform cost-model override (*meiko.Costs, *atm.Costs; nil = calibrated)
@@ -149,6 +150,14 @@ func Build(s Spec) (*mpi.World, error) {
 	if s.HasFaults() && s.Platform != "cluster" {
 		return nil, fmt.Errorf("backend %q: fault injection (loss/delay/reorder/partition) exists only on the cluster platform", s.Key())
 	}
+	if s.Lanes > 1 && s.Platform != "mem" {
+		// The Meiko fat-tree and the cluster's shared Ethernet/ATM switch
+		// stages are world-global resources that cannot be partitioned into
+		// independent lanes yet; the media carry lane-pinned node FIFOs
+		// (see internal/meiko, internal/atm) but the full backends stay on
+		// the single-lane kernel until those stages are lane-aware.
+		return nil, fmt.Errorf("backend %q: sharded kernel (Lanes=%d) is only supported on the mem backend; %s media share world-global switch stages", s.Key(), s.Lanes, s.Platform)
+	}
 	w, err := b(s)
 	if err != nil {
 		return nil, err
@@ -177,21 +186,46 @@ func Run(s Spec, body func(c *mpi.Comm) error) (*mpi.Report, error) {
 // Transport contract's executable specification is itself a backend.
 func init() {
 	Register("mem", func(s Spec) (*mpi.World, error) {
-		sched := sim.NewScheduler(s.Seed + 1)
-		sched.MaxEvents = 500_000_000
 		eager := s.Eager
 		if eager == 0 {
 			eager = 180
 		}
-		fab := core.NewMemFabric(sched, time.Microsecond, eager)
-		fab.Credits = s.Credit
-		eps := make([]core.Endpoint, s.Ranks)
-		for i := range eps {
-			e := core.NewEngine(sched, i, s.Ranks, core.EngineCosts{}, nil)
-			fab.Attach(e)
-			eps[i] = e
+		var w *mpi.World
+		if s.Lanes > 1 {
+			// Sharded kernel: one lane per node, ranks block-mapped onto
+			// lanes, with the fabric's flat latency as the lookahead bound.
+			lanes := s.Lanes
+			if lanes > s.Ranks {
+				lanes = s.Ranks
+			}
+			sh := sim.NewShard(s.Seed+1, lanes, time.Microsecond)
+			sh.MaxEvents = 500_000_000
+			laneOf := make([]int, s.Ranks)
+			for i := range laneOf {
+				laneOf[i] = i * lanes / s.Ranks
+			}
+			fab := core.NewShardedMemFabric(sh, laneOf, time.Microsecond, eager)
+			fab.Credits = s.Credit
+			eps := make([]core.Endpoint, s.Ranks)
+			for i := range eps {
+				e := core.NewEngine(sh.Lane(laneOf[i]), i, s.Ranks, core.EngineCosts{}, nil)
+				fab.Attach(e)
+				eps[i] = e
+			}
+			w = mpi.NewShardedWorld(sh, eps, laneOf)
+		} else {
+			sched := sim.NewScheduler(s.Seed + 1)
+			sched.MaxEvents = 500_000_000
+			fab := core.NewMemFabric(sched, time.Microsecond, eager)
+			fab.Credits = s.Credit
+			eps := make([]core.Endpoint, s.Ranks)
+			for i := range eps {
+				e := core.NewEngine(sched, i, s.Ranks, core.EngineCosts{}, nil)
+				fab.Attach(e)
+				eps[i] = e
+			}
+			w = mpi.NewWorld(sched, eps)
 		}
-		w := mpi.NewWorld(sched, eps)
 		if s.Bcast != mpi.BcastAuto {
 			w.Bcast = s.Bcast
 		}
