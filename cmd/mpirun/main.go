@@ -39,7 +39,8 @@ func main() {
 	n := flag.Int("n", 0, "problem size (0 = per-app default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	fattree := flag.Bool("fattree", false, "meiko: staged fat-tree congestion model")
-	lanes := flag.Int("lanes", 0, "run on the sharded kernel with this many lanes (mem platform only; 0 = single-lane kernel)")
+	lanes := flag.Int("lanes", 0, "run on the sharded kernel with this many lanes (0 = single-lane kernel)")
+	parallel := flag.Bool("parallel", false, "with -lanes: execute epochs on pinned worker goroutines")
 	collTune := flag.String("coll", "", `force collective algorithms, e.g. "bcast=pipelined,allreduce=rsag" (default auto-select)`)
 	loss := flag.Float64("loss", 0, "cluster: per-frame loss probability (datagram traffic)")
 	delay := flag.Duration("delay", 0, "cluster: fixed one-way latency added per frame")
@@ -69,6 +70,7 @@ func main() {
 		Network:    *network,
 		Ranks:      *np,
 		Lanes:      *lanes,
+		Parallel:   *parallel,
 		Seed:       *seed,
 		FatTree:    *fattree,
 		Coll:       *collTune,

@@ -24,10 +24,11 @@ func main() {
 	impl := flag.String("impl", "", "meiko implementation: lowlatency | mpich (default lowlatency)")
 	ranks := flag.Int("ranks", 3, "number of ranks")
 	size := flag.Int("size", 64, "message payload bytes")
-	lanes := flag.Int("lanes", 0, "run on the sharded kernel with this many lanes (mem platform only; 0 = single-lane kernel)")
+	lanes := flag.Int("lanes", 0, "run on the sharded kernel with this many lanes (0 = single-lane kernel)")
+	parallel := flag.Bool("parallel", false, "with -lanes: execute epochs on pinned worker goroutines")
 	flag.Parse()
 
-	spec := registry.Spec{Platform: *platform, Impl: *impl, Ranks: *ranks, Lanes: *lanes}
+	spec := registry.Spec{Platform: *platform, Impl: *impl, Ranks: *ranks, Lanes: *lanes, Parallel: *parallel}
 	w, err := registry.Build(spec)
 	if err != nil {
 		log.Fatalf("trace: %v", err)

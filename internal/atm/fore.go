@@ -26,7 +26,7 @@ func (cl *Cluster) aal4Port(h int) *AAL4 {
 	if s, ok := cl.aal4[h]; ok {
 		return s
 	}
-	s := &AAL4{cl: cl, host: h, readable: sim.NewCond(cl.S)}
+	s := &AAL4{cl: cl, host: h, readable: sim.NewCond(cl.SchedOf(h))}
 	cl.aal4[h] = s
 	return s
 }
@@ -52,7 +52,7 @@ func (a *AAL4) SendTo(p *sim.Proc, dst int, data []byte) {
 	copy(payload, data)
 	src := a.host
 	a.cl.Medium(OverATM).Deliver(a.host, dst, len(data), DeliverOpts{AAL34: true, Droppable: true}, func() {
-		a.cl.S.After(k.AAL4PerPacket, func() {
+		a.cl.SchedOf(dst).After(k.AAL4PerPacket, func() {
 			peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
 			peer.readable.Broadcast()
 		})

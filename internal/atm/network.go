@@ -43,10 +43,21 @@ type Medium interface {
 // serializes on one wire, which is what makes the cluster's Figure 9 lose
 // to ATM under contention. Loss and other faults are not modeled here: the
 // Injector wrapping every medium (faults.go) owns misbehavior.
+//
+// The segment is a world-global resource, so it is built as a sim.Stage
+// homed on lane 0 when sharded (NewShardedEthernet): every Deliver detours
+// to the home lane carrying its source stamp, reserves the wire backdated
+// to the stamp, and routes the frame out to the destination's lane — the
+// contention arithmetic is identical to the single-scheduler segment, and
+// on a single scheduler the stage degrades to the historical inline path.
 type Ethernet struct {
-	s    *sim.Scheduler
-	c    Costs
-	wire *sim.FIFO
+	s     *sim.Scheduler
+	c     Costs
+	stage *sim.Stage
+	wire  *sim.FIFO
+
+	scheds []*sim.Scheduler // per-host lane scheduler; nil when unsharded
+	laneOf []int
 
 	// CSMACD enables collision modeling: a station finding the medium
 	// busy pays a random exponential backoff (in slot times) scaled by the
@@ -64,7 +75,40 @@ type Ethernet struct {
 
 // NewEthernet builds the shared segment.
 func NewEthernet(s *sim.Scheduler, c Costs) *Ethernet {
-	return &Ethernet{s: s, c: c, wire: sim.NewFIFO(s, "ether")}
+	return &Ethernet{s: s, c: c, stage: sim.NewStage(s), wire: sim.NewFIFO(s, "ether")}
+}
+
+// NewShardedEthernet builds the shared segment homed on lane 0 of sh, with
+// host i's frames delivered onto lane laneOf[i]. The model's spans bound
+// the shard lookahead: the minimum frame wire time covers the stamp-to-
+// completion window and the propagation+driver tail covers the
+// completion-to-delivery hop, so both must be at least the lookahead.
+func NewShardedEthernet(sh *sim.Shard, laneOf []int, c Costs) *Ethernet {
+	minSpan := sim.Duration(FrameWireBytes(0)) * c.EthPerByte
+	post := c.EthPropDelay + c.DriverEthPerFrame
+	if minSpan < sh.Lookahead() || post < sh.Lookahead() {
+		panic(fmt.Sprintf("ethernet: frame span %v / delivery tail %v below shard lookahead %v", minSpan, post, sh.Lookahead()))
+	}
+	home := sh.Lane(0)
+	e := &Ethernet{s: home, c: c, stage: sim.NewStage(home), wire: sim.NewFIFO(home, "ether"), laneOf: laneOf}
+	for _, l := range laneOf {
+		e.scheds = append(e.scheds, sh.Lane(l))
+	}
+	return e
+}
+
+func (e *Ethernet) schedOf(host int) *sim.Scheduler {
+	if e.scheds == nil {
+		return e.s
+	}
+	return e.scheds[host]
+}
+
+func (e *Ethernet) lane(host int) int {
+	if e.laneOf == nil {
+		return 0
+	}
+	return e.laneOf[host]
 }
 
 // Kind implements Medium.
@@ -81,29 +125,33 @@ func FrameWireBytes(n int) int {
 	return n + EthOverheadBytes
 }
 
-// Deliver implements Medium.
+// Deliver implements Medium. Must be called from src's lane context on a
+// sharded segment; deliver runs on dst's lane.
 func (e *Ethernet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool {
 	if n > EthMTU {
 		panic(fmt.Sprintf("ethernet: frame payload %d exceeds MTU", n))
 	}
 	wire := sim.Duration(FrameWireBytes(n)) * e.c.EthPerByte
-	if e.CSMACD && e.wire.BusyUntil() > e.s.Now() {
-		// Contended medium: model collisions + truncated binary
-		// exponential backoff. The backoff window doubles with the number
-		// of frames already fighting for the wire.
-		e.Collisions++
-		slot := e.SlotTime
-		if slot == 0 {
-			slot = 51200 // 51.2 µs: 512 bit times at 10 Mbit/s
+	e.stage.Request(e.schedOf(src), func(t0 sim.Time) {
+		if e.CSMACD && e.wire.BusyUntil() > t0 {
+			// Contended medium: model collisions + truncated binary
+			// exponential backoff. The backoff window doubles with the number
+			// of frames already fighting for the wire.
+			e.Collisions++
+			slot := e.SlotTime
+			if slot == 0 {
+				slot = 51200 // 51.2 µs: 512 bit times at 10 Mbit/s
+			}
+			window := 2 << min(e.queued, 9)
+			backoff := sim.Duration(e.s.Rand().Intn(window)) * slot
+			wire += backoff
 		}
-		window := 2 << min(e.queued, 9)
-		backoff := sim.Duration(e.s.Rand().Intn(window)) * slot
-		wire += backoff
-	}
-	e.queued++
-	e.wire.UseAsync(wire, func() {
-		e.queued--
-		e.s.After(e.c.EthPropDelay+e.c.DriverEthPerFrame, deliver)
+		e.queued++
+		end := e.wire.ReserveAt(t0, wire)
+		e.stage.At(end, func() {
+			e.queued--
+			e.stage.Exit(e.lane(dst), end+sim.Time(e.c.EthPropDelay+e.c.DriverEthPerFrame), deliver)
+		})
 	})
 	return true
 }
@@ -119,8 +167,8 @@ func (e *Ethernet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bo
 // where a packet leaves its source host — crosses lanes through Route,
 // with SwitchDelay as the lookahead bound. On a single scheduler the hop
 // degrades to a plain timer, bit-identical to the historical model. The
-// shared Ethernet segment, by contrast, serializes all hosts on one wire
-// and stays single-scheduler only.
+// shared Ethernet segment serializes all hosts on one wire and shards as
+// a lane-0-homed sim.Stage instead (NewShardedEthernet).
 type ATMNet struct {
 	s        *sim.Scheduler
 	c        Costs

@@ -103,16 +103,17 @@ type rudpPending struct {
 
 // NewRUDP wraps sock with reliability.
 func NewRUDP(sock *UDP) *RUDP {
+	hs := sock.cl.SchedOf(sock.host)
 	r := &RUDP{
 		sock:       sock,
-		s:          sock.cl.S,
+		s:          hs,
 		Window:     32,
 		RTO:        rudpInitialRTO,
 		MinRTO:     rudpMinRTO,
 		MaxRTO:     rudpMaxRTO,
 		MaxRetries: 25,
 		peers:      make(map[int]*rudpPeer),
-		arrival:    sim.NewCond(sock.cl.S),
+		arrival:    sim.NewCond(hs),
 	}
 	// Pure acknowledgements are consumed at interrupt level, like the
 	// kernel timers that drive retransmission: the sender's window opens

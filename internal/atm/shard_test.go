@@ -39,6 +39,52 @@ func TestShardedATMNetMatchesSingleScheduler(t *testing.T) {
 	}
 }
 
+// The shared Ethernet segment homes on lane 0 as a sim.Stage: frames from
+// every lane must serialize on the one wire in stamp order, landing at
+// exactly the single-scheduler times — including back-to-back contention
+// where the queueing arithmetic, not just the latency, decides.
+func TestShardedEthernetMatchesSingleScheduler(t *testing.T) {
+	c := DefaultCosts()
+	run := func(e *Ethernet, drive func() (sim.Time, error)) []sim.Time {
+		ends := make([]sim.Time, 4)
+		// All hosts contend for the wire at t=0, then host 0 sends again.
+		e.Deliver(0, 2, 700, DeliverOpts{}, func() {
+			ends[0] = e.schedOf(2).Now()
+			e.Deliver(2, 1, 40, DeliverOpts{}, func() { ends[3] = e.schedOf(1).Now() })
+		})
+		e.Deliver(1, 2, 300, DeliverOpts{}, func() { ends[1] = e.schedOf(2).Now() })
+		e.Deliver(2, 0, 1, DeliverOpts{}, func() { ends[2] = e.schedOf(0).Now() })
+		if _, err := drive(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	s := sim.NewScheduler(1)
+	want := run(NewEthernet(s, c), s.Run)
+	sh := sim.NewShard(1, 3, c.SwitchDelay)
+	got := run(NewShardedEthernet(sh, []int{0, 1, 2}, c), sh.Run)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d at %v sharded, %v single (all: %v vs %v)", i, got[i], want[i], got, want)
+		}
+		if want[i] == 0 {
+			t.Fatalf("delivery %d never ran", i)
+		}
+	}
+}
+
+func TestShardedEthernetRejectsLongLookahead(t *testing.T) {
+	c := DefaultCosts()
+	// A lookahead above the propagation+driver tail must be rejected.
+	sh := sim.NewShard(1, 2, c.EthPropDelay+c.DriverEthPerFrame+time.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lookahead above the delivery tail")
+		}
+	}()
+	NewShardedEthernet(sh, []int{0, 1}, c)
+}
+
 func TestShardedATMNetRejectsShortSwitchDelay(t *testing.T) {
 	c := DefaultCosts()
 	sh := sim.NewShard(1, 2, c.SwitchDelay+time.Microsecond)

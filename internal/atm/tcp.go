@@ -60,8 +60,9 @@ type TCP struct {
 // returning the two endpoints.
 func (cl *Cluster) TCPPair(h0, h1 int, k MediumKind) (*TCP, *TCP) {
 	m := cl.Medium(k)
-	a := &TCP{cl: cl, host: h0, med: m, readable: sim.NewCond(cl.S), sndWait: sim.NewCond(cl.S), sndCredit: DefaultTCPBuffer}
-	b := &TCP{cl: cl, host: h1, med: m, readable: sim.NewCond(cl.S), sndWait: sim.NewCond(cl.S), sndCredit: DefaultTCPBuffer}
+	s0, s1 := cl.SchedOf(h0), cl.SchedOf(h1)
+	a := &TCP{cl: cl, host: h0, med: m, readable: sim.NewCond(s0), sndWait: sim.NewCond(s0), sndCredit: DefaultTCPBuffer}
+	b := &TCP{cl: cl, host: h1, med: m, readable: sim.NewCond(s1), sndWait: sim.NewCond(s1), sndCredit: DefaultTCPBuffer}
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -116,8 +117,8 @@ func (c *TCP) writeSegment(p *sim.Proc, seg []byte) {
 	c.SegmentsOut++
 	c.med.Deliver(c.host, c.peer.host, len(seg)+TCPIPHeader, DeliverOpts{}, func() {
 		// Receiver-side kernel input processing, then the data becomes
-		// readable.
-		c.cl.S.After(k.TCPPerSegment, func() {
+		// readable. The medium ran us on the peer's lane; stay there.
+		c.cl.SchedOf(c.peer.host).After(k.TCPPerSegment, func() {
 			c.peer.rq = append(c.peer.rq, payload...)
 			c.peer.BytesIn += len(payload)
 			c.peer.readable.Broadcast()
@@ -207,7 +208,7 @@ func (c *TCP) sendWindowUpdate(n int) {
 		if delay == 0 {
 			delay = 200 * time.Millisecond
 		}
-		c.cl.S.After(delay, func() {
+		c.cl.SchedOf(c.host).After(delay, func() {
 			c.ackTimer = false
 			c.flushOwedAck()
 		})
@@ -262,7 +263,7 @@ func (c *TCP) kernelFlushNagle() {
 	copy(payload, seg)
 	c.SegmentsOut++
 	c.med.Deliver(c.host, c.peer.host, len(seg)+TCPIPHeader, DeliverOpts{}, func() {
-		c.cl.S.After(k.TCPPerSegment, func() {
+		c.cl.SchedOf(c.peer.host).After(k.TCPPerSegment, func() {
 			c.peer.rq = append(c.peer.rq, payload...)
 			c.peer.BytesIn += len(payload)
 			c.peer.readable.Broadcast()

@@ -35,7 +35,7 @@ func (cl *Cluster) UDPSocket(h int, k MediumKind) *UDP {
 	if s, ok := cl.udpPorts[k][h]; ok {
 		return s
 	}
-	s := &UDP{cl: cl, host: h, med: cl.Medium(k), readable: sim.NewCond(cl.S)}
+	s := &UDP{cl: cl, host: h, med: cl.Medium(k), readable: sim.NewCond(cl.SchedOf(h))}
 	cl.udpPorts[k][h] = s
 	return s
 }
@@ -99,7 +99,9 @@ func (u *UDP) transmit(dst int, data []byte) {
 			// reassembly would) instead of being silently absorbed.
 			if arrived%nfrags == 0 && !lost {
 				// Reassembly complete: kernel input processing, then queue.
-				u.cl.S.After(k.UDPPerPacket, func() {
+				// The medium ran us on dst's lane, so the timer and the
+				// socket state stay there.
+				u.cl.SchedOf(dst).After(k.UDPPerPacket, func() {
 					peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
 					peer.readable.Broadcast()
 					for _, fn := range peer.watchers {

@@ -49,7 +49,7 @@ func (cl *Cluster) UNetSocket(h int) *UNet {
 	if s, ok := cl.unet[h]; ok {
 		return s
 	}
-	s := &UNet{cl: cl, host: h, readable: sim.NewCond(cl.S)}
+	s := &UNet{cl: cl, host: h, readable: sim.NewCond(cl.SchedOf(h))}
 	cl.unet[h] = s
 	return s
 }
@@ -82,13 +82,15 @@ func (u *UNet) SendTo(p *sim.Proc, dst int, data []byte) {
 	}
 	wire := sim.Duration(AAL5WireBytes(len(data))) * k.ATMPerByte
 	// Outbound SAR, uplink, switch, downlink, inbound SAR — and straight
-	// into the user-mapped receive queue.
+	// into the user-mapped receive queue. The switch hop is where the
+	// packet leaves its source host's lane (a plain timer when unsharded).
+	ss, ds := u.cl.SchedOf(src), u.cl.SchedOf(dst)
 	for _, extra := range extras {
-		u.cl.S.After(extra+UNetSARPerPacket, func() {
+		ss.After(extra+UNetSARPerPacket, func() {
 			u.cl.Atm.up[src].UseAsync(wire, func() {
-				u.cl.S.After(k.SwitchDelay, func() {
+				ss.RouteAfter(u.cl.LaneOf(dst), k.SwitchDelay, func() {
 					u.cl.Atm.down[dst].UseAsync(wire, func() {
-						u.cl.S.After(UNetSARPerPacket, func() {
+						ds.After(UNetSARPerPacket, func() {
 							peer.dq = append(peer.dq, Datagram{Src: src, Data: payload})
 							peer.readable.Broadcast()
 							for _, fn := range peer.watchers {

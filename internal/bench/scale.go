@@ -31,6 +31,10 @@ import (
 //     this arm assumes the baseline machine and the CI machine are
 //     comparable; it exists to catch the large regressions the ratio arm
 //     cannot see (both kernels slowing down together).
+//   - The pinned-worker parallel executor against the sequential sharded
+//     kernel: never meaningfully slower, and at least scaleMinParSpeedup
+//     faster when the measuring machine has cores to use (MaxProcs is
+//     recorded in the report so single-core runners skip the floor).
 //
 // Every point also cross-checks determinism: the single-lane kernel, the
 // sequential sharded kernel, and the parallel sharded kernel must execute
@@ -40,6 +44,13 @@ import (
 // Opts knob) so the event counts in BENCH_scale.json are comparable across
 // revisions.
 const scaleIters = 10
+
+// scaleSchemaVersion identifies the BENCH_scale.json layout. Version 0 is
+// the original mem-only record (no version field); version 1 adds the
+// measuring machine's GOMAXPROCS, the per-point parallel speedup, and the
+// per-backend collective points. Baselines from older versions still
+// compare: fields they lack are simply not gated against.
+const scaleSchemaVersion = 1
 
 // ScalePoint is one rank count in BENCH_scale.json: both kernels measured
 // on the same world, plus the sharded control-plane counters.
@@ -56,6 +67,11 @@ type ScalePoint struct {
 	ShardEvPerSec    float64 `json:"shard_ev_per_sec"`
 	ParallelEvPerSec float64 `json:"parallel_ev_per_sec"`
 	Speedup          float64 `json:"speedup"` // sharded (sequential) over single, same machine
+	// ParallelSpeedup is the pinned-worker executor over the sequential
+	// sharded kernel at the 1 µs lookahead — the focused Shard.Parallel
+	// regression arm. On a single-core machine it measures pure overhead
+	// (one channel handoff per epoch) and hovers near 1.0.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 
 	Epochs           uint64 `json:"epochs"`
 	Stalls           uint64 `json:"stalls"`
@@ -64,14 +80,18 @@ type ScalePoint struct {
 }
 
 // ScaleCollPoint is one full-MPI collective re-run at scale: the same
-// operation on the same mem world, single-lane kernel versus sharded, with
-// the per-rank finish times required to match exactly. This is the
-// tentpole's "collective sweeps at 1k+ ranks" proof — the whole stack
-// (engine, flow, collectives) on the sharded kernel, not just raw sim
-// procs. The fault sweeps stay on the single-lane kernel: fault injection
-// lives in the cluster media, whose shared Ethernet segment and switch
-// stages are world-global resources the registry refuses to shard.
+// operation on the same world, single-lane kernel versus sharded, with the
+// per-rank finish times required to match exactly. The sweep covers every
+// backend family — the mem reference at 1k+ ranks, plus the Meiko and
+// cluster models at the rank counts their heavier per-message cost models
+// afford — so the whole stack (engine, flow, collectives, media stages) is
+// proven on the sharded kernel, not just raw sim procs. The fault sweeps
+// stay on the single-lane kernel: the injector's RNG stream is world-global,
+// so the registry rejects faults combined with lanes.
 type ScaleCollPoint struct {
+	// Backend is the registry key the point ran on; empty in schema-v0
+	// baselines, which only swept "mem".
+	Backend   string  `json:"backend,omitempty"`
 	Op        string  `json:"op"`
 	Ranks     int     `json:"ranks"`
 	Bytes     int     `json:"bytes"`
@@ -80,10 +100,26 @@ type ScaleCollPoint struct {
 	Speedup   float64 `json:"speedup"`   // sharded over single wall clock, same machine
 }
 
+// collBackend reports a point's backend, naming "mem" for schema-v0
+// baselines that predate the field.
+func collBackend(p ScaleCollPoint) string {
+	if p.Backend == "" {
+		return "mem"
+	}
+	return p.Backend
+}
+
 // ScaleReport is the machine-readable record cmd/repro writes as
 // BENCH_scale.json. The committed copy is the regression baseline CI
 // compares against (see CheckScale).
 type ScaleReport struct {
+	// SchemaVersion is scaleSchemaVersion at write time; 0 marks the
+	// original mem-only layout.
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// MaxProcs is GOMAXPROCS on the measuring machine. The parallel-speedup
+	// floor only binds when the machine that produced the report had cores
+	// to parallelize over.
+	MaxProcs    int              `json:"max_procs,omitempty"`
 	Points      []ScalePoint     `json:"points"`
 	Collectives []ScaleCollPoint `json:"collectives"`
 	// LaneAllocsPerOp is the steady-state heap allocations per executed
@@ -216,11 +252,12 @@ func laneAllocsPerOp(ranks int) int64 {
 	return int64((m2 - m1) / (e2 - e1))
 }
 
-// collAtScale runs one collective on the mem backend at ranks on the given
-// kernel (lanes 0 = single) and reports per-rank finish times plus wall
-// clock.
-func collAtScale(op string, ranks, lanes, n int) ([]sim.Duration, time.Duration, error) {
-	spec := registry.Spec{Platform: "mem", Ranks: ranks, Lanes: lanes, Seed: 1}
+// collAtScale runs one collective on the named backend at ranks on the
+// given kernel (lanes 0 = single) and reports per-rank finish times plus
+// wall clock.
+func collAtScale(backend, op string, ranks, lanes, n int) ([]sim.Duration, time.Duration, error) {
+	spec := registry.SpecFor(backend)
+	spec.Ranks, spec.Lanes, spec.Seed = ranks, lanes, 1
 	w, err := registry.Build(spec)
 	if err != nil {
 		return nil, 0, err
@@ -233,42 +270,57 @@ func collAtScale(op string, ranks, lanes, n int) ([]sim.Duration, time.Duration,
 	return rep.RankElapsed, time.Since(start), nil
 }
 
-// scaleCollectives re-runs the headline collectives at 1k+ ranks through
-// the full MPI stack on both kernels.
+// scaleCollBackends are the backend families the collective sweep proves on
+// the sharded kernel, each at the rank counts its per-message cost model
+// affords within a CI budget (the mem fabric is cheap enough for 1k+; the
+// Meiko and cluster models charge full protocol costs per hop).
+var scaleCollBackends = []struct {
+	backend          string
+	ranks, fullRanks int
+}{
+	{"mem", 1024, 2048},
+	{"meiko/lowlatency", 256, 512},
+	{"cluster/tcp", 64, 128},
+}
+
+// scaleCollectives re-runs the headline collectives through the full MPI
+// stack on both kernels, on every backend family.
 func scaleCollectives(full bool) ([]ScaleCollPoint, error) {
-	ranksList := []int{1024}
-	if full {
-		ranksList = append(ranksList, 2048)
-	}
 	var out []ScaleCollPoint
-	for _, ranks := range ranksList {
-		for _, c := range []struct {
-			op string
-			n  int
-		}{{"barrier", 0}, {"bcast", 1024}, {"allreduce", 1024}} {
-			single, w0, err := collAtScale(c.op, ranks, 0, c.n)
-			if err != nil {
-				return nil, fmt.Errorf("%s ranks=%d single: %w", c.op, ranks, err)
-			}
-			shard, w1, err := collAtScale(c.op, ranks, ranks, c.n)
-			if err != nil {
-				return nil, fmt.Errorf("%s ranks=%d sharded: %w", c.op, ranks, err)
-			}
-			p := ScaleCollPoint{Op: c.op, Ranks: ranks, Bytes: c.n, Identical: len(single) == len(shard)}
-			var max sim.Duration
-			for i := range single {
-				if i < len(shard) && single[i] != shard[i] {
-					p.Identical = false
+	for _, bk := range scaleCollBackends {
+		ranksList := []int{bk.ranks}
+		if full {
+			ranksList = append(ranksList, bk.fullRanks)
+		}
+		for _, ranks := range ranksList {
+			for _, c := range []struct {
+				op string
+				n  int
+			}{{"barrier", 0}, {"bcast", 1024}, {"allreduce", 1024}} {
+				single, w0, err := collAtScale(bk.backend, c.op, ranks, 0, c.n)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s ranks=%d single: %w", bk.backend, c.op, ranks, err)
 				}
-				if single[i] > max {
-					max = single[i]
+				shard, w1, err := collAtScale(bk.backend, c.op, ranks, ranks, c.n)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s ranks=%d sharded: %w", bk.backend, c.op, ranks, err)
 				}
+				p := ScaleCollPoint{Backend: bk.backend, Op: c.op, Ranks: ranks, Bytes: c.n, Identical: len(single) == len(shard)}
+				var max sim.Duration
+				for i := range single {
+					if i < len(shard) && single[i] != shard[i] {
+						p.Identical = false
+					}
+					if single[i] > max {
+						max = single[i]
+					}
+				}
+				p.VirtualUs = float64(max) / 1e3
+				if w1 > 0 {
+					p.Speedup = w0.Seconds() / w1.Seconds()
+				}
+				out = append(out, p)
 			}
-			p.VirtualUs = float64(max) / 1e3
-			if w1 > 0 {
-				p.Speedup = w0.Seconds() / w1.Seconds()
-			}
-			out = append(out, p)
 		}
 	}
 	return out, nil
@@ -282,7 +334,7 @@ func ScaleBench(o Opts) (ScaleReport, error) {
 	if o.Full {
 		rankPoints = append(rankPoints, 16384)
 	}
-	var rep ScaleReport
+	rep := ScaleReport{SchemaVersion: scaleSchemaVersion, MaxProcs: runtime.GOMAXPROCS(0)}
 	for _, ranks := range rankPoints {
 		single := bestOf(o.Iters, func() scaleRun { return dissemWorld(ranks, 0, scaleIters, false) })
 		shard := bestOf(o.Iters, func() scaleRun { return dissemWorld(ranks, ranks, scaleIters, false) })
@@ -305,6 +357,9 @@ func ScaleBench(o Opts) (ScaleReport, error) {
 		}
 		if p.SingleEvPerSec > 0 {
 			p.Speedup = p.ShardEvPerSec / p.SingleEvPerSec
+		}
+		if p.ShardEvPerSec > 0 {
+			p.ParallelSpeedup = p.ParallelEvPerSec / p.ShardEvPerSec
 		}
 		rep.Points = append(rep.Points, p)
 	}
@@ -329,10 +384,10 @@ func FormatScale(r ScaleReport) string {
 			p.Speedup, p.Epochs, p.Routed, p.Identical)
 	}
 	if len(r.Collectives) > 0 {
-		fmt.Fprintf(&b, "  full-MPI collectives at scale (mem backend, sharded vs single kernel)\n")
-		fmt.Fprintf(&b, "  %10s %6s %8s %12s %8s %5s\n", "op", "ranks", "bytes", "virtual µs", "speedup", "ident")
+		fmt.Fprintf(&b, "  full-MPI collectives at scale (sharded vs single kernel)\n")
+		fmt.Fprintf(&b, "  %-18s %10s %6s %8s %12s %8s %5s\n", "backend", "op", "ranks", "bytes", "virtual µs", "speedup", "ident")
 		for _, p := range r.Collectives {
-			fmt.Fprintf(&b, "  %10s %6d %8d %12.1f %7.2fx %5v\n", p.Op, p.Ranks, p.Bytes, p.VirtualUs, p.Speedup, p.Identical)
+			fmt.Fprintf(&b, "  %-18s %10s %6d %8d %12.1f %7.2fx %5v\n", collBackend(p), p.Op, p.Ranks, p.Bytes, p.VirtualUs, p.Speedup, p.Identical)
 		}
 	}
 	fmt.Fprintf(&b, "  lane scheduling steady state: %d allocs/event\n", r.LaneAllocsPerOp)
@@ -343,6 +398,13 @@ func FormatScale(r ScaleReport) string {
 const (
 	scaleMinSpeedup = 2.0  // sharded over single at the largest >=1024-rank point
 	scaleGateRanks  = 1024 // the floor applies from this scale up
+	// The pinned-worker executor must never be meaningfully slower than the
+	// sequential sharded kernel (slack absorbs the per-epoch handoff and
+	// timer noise), and on a machine with cores to use it must actually
+	// parallelize. The speedup floor keys off the report's own MaxProcs, so
+	// single-core CI runners gate overhead without demanding the impossible.
+	scaleParSlack      = 0.90
+	scaleMinParSpeedup = 1.5
 )
 
 // CheckScale compares a fresh report against the committed baseline and
@@ -367,12 +429,29 @@ func CheckScale(cur ScaleReport, base *ScaleReport, tol float64) []string {
 	}
 	if gatePoint == nil {
 		fails = append(fails, fmt.Sprintf("no >=%d-rank point in report", scaleGateRanks))
-	} else if gatePoint.Speedup < scaleMinSpeedup {
-		fails = append(fails, fmt.Sprintf("ranks=%d speedup %.2fx below the %.1fx floor", gatePoint.Ranks, gatePoint.Speedup, scaleMinSpeedup))
+	} else {
+		if gatePoint.Speedup < scaleMinSpeedup {
+			fails = append(fails, fmt.Sprintf("ranks=%d speedup %.2fx below the %.1fx floor", gatePoint.Ranks, gatePoint.Speedup, scaleMinSpeedup))
+		}
+		if gatePoint.ParallelEvPerSec < gatePoint.ShardEvPerSec*scaleParSlack {
+			fails = append(fails, fmt.Sprintf("ranks=%d parallel executor %.0f ev/s slower than sequential sharded %.0f ev/s",
+				gatePoint.Ranks, gatePoint.ParallelEvPerSec, gatePoint.ShardEvPerSec))
+		}
+		if cur.MaxProcs >= 2 && gatePoint.ParallelSpeedup < scaleMinParSpeedup {
+			fails = append(fails, fmt.Sprintf("ranks=%d parallel speedup %.2fx below the %.1fx floor on a %d-core machine",
+				gatePoint.Ranks, gatePoint.ParallelSpeedup, scaleMinParSpeedup, cur.MaxProcs))
+		}
 	}
+	seenBackend := map[string]bool{}
 	for _, p := range cur.Collectives {
+		seenBackend[collBackend(p)] = true
 		if !p.Identical {
-			fails = append(fails, fmt.Sprintf("%s ranks=%d: per-rank finish times diverged between kernels", p.Op, p.Ranks))
+			fails = append(fails, fmt.Sprintf("%s %s ranks=%d: per-rank finish times diverged between kernels", collBackend(p), p.Op, p.Ranks))
+		}
+	}
+	for _, bk := range scaleCollBackends {
+		if !seenBackend[bk.backend] {
+			fails = append(fails, fmt.Sprintf("no %s collective points in report", bk.backend))
 		}
 	}
 	if base == nil {

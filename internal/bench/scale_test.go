@@ -21,18 +21,20 @@ func TestScaleWorldKernelsAgree(t *testing.T) {
 }
 
 func TestScaleCollectiveParitySmall(t *testing.T) {
-	for _, op := range []string{"barrier", "bcast", "allreduce"} {
-		single, _, err := collAtScale(op, 64, 0, 256)
-		if err != nil {
-			t.Fatalf("%s single: %v", op, err)
-		}
-		shard, _, err := collAtScale(op, 64, 64, 256)
-		if err != nil {
-			t.Fatalf("%s sharded: %v", op, err)
-		}
-		for i := range single {
-			if single[i] != shard[i] {
-				t.Fatalf("%s: rank %d finished at %v on single, %v on sharded", op, i, single[i], shard[i])
+	for _, backend := range []string{"mem", "meiko/lowlatency", "cluster/tcp"} {
+		for _, op := range []string{"barrier", "bcast", "allreduce"} {
+			single, _, err := collAtScale(backend, op, 16, 0, 256)
+			if err != nil {
+				t.Fatalf("%s %s single: %v", backend, op, err)
+			}
+			shard, _, err := collAtScale(backend, op, 16, 16, 256)
+			if err != nil {
+				t.Fatalf("%s %s sharded: %v", backend, op, err)
+			}
+			for i := range single {
+				if single[i] != shard[i] {
+					t.Fatalf("%s %s: rank %d finished at %v on single, %v on sharded", backend, op, i, single[i], shard[i])
+				}
 			}
 		}
 	}
@@ -40,11 +42,17 @@ func TestScaleCollectiveParitySmall(t *testing.T) {
 
 func TestCheckScaleGate(t *testing.T) {
 	good := ScaleReport{
+		SchemaVersion: scaleSchemaVersion,
+		MaxProcs:      1,
 		Points: []ScalePoint{
-			{Ranks: 64, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3},
-			{Ranks: 1024, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3},
+			{Ranks: 64, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3, ParallelEvPerSec: 3e6, ParallelSpeedup: 1},
+			{Ranks: 1024, Identical: true, SingleEvPerSec: 1e6, ShardEvPerSec: 3e6, Speedup: 3, ParallelEvPerSec: 3e6, ParallelSpeedup: 1},
 		},
-		Collectives: []ScaleCollPoint{{Op: "barrier", Ranks: 1024, Identical: true}},
+		Collectives: []ScaleCollPoint{
+			{Op: "barrier", Ranks: 1024, Identical: true}, // backendless = mem (schema v0)
+			{Backend: "meiko/lowlatency", Op: "barrier", Ranks: 256, Identical: true},
+			{Backend: "cluster/tcp", Op: "barrier", Ranks: 64, Identical: true},
+		},
 	}
 	if fails := CheckScale(good, nil, 0.10); len(fails) != 0 {
 		t.Fatalf("clean report failed the gate: %v", fails)
@@ -69,8 +77,35 @@ func TestCheckScaleGate(t *testing.T) {
 	requireFail(t, CheckScale(bad, nil, 0.10), "no >=1024-rank point")
 
 	bad = good
-	bad.Collectives = []ScaleCollPoint{{Op: "barrier", Ranks: 1024, Identical: false}}
+	bad.Collectives = append([]ScaleCollPoint(nil), good.Collectives...)
+	bad.Collectives[0].Identical = false
 	requireFail(t, CheckScale(bad, nil, 0.10), "finish times diverged")
+
+	// A backend silently dropping out of the collective sweep fails.
+	bad = good
+	bad.Collectives = good.Collectives[:2] // no cluster points
+	requireFail(t, CheckScale(bad, nil, 0.10), "no cluster/tcp collective points")
+
+	// The parallel executor must not run meaningfully slower than the
+	// sequential sharded kernel, on any machine.
+	bad = good
+	bad.Points = append([]ScalePoint(nil), good.Points...)
+	bad.Points[1].ParallelEvPerSec = 3e6 * 0.8
+	bad.Points[1].ParallelSpeedup = 0.8
+	requireFail(t, CheckScale(bad, nil, 0.10), "slower than sequential")
+
+	// The 1.5x parallel-speedup floor binds only on multi-core machines:
+	// a 1.0x report passes from a single-core runner, fails from a
+	// multi-core one.
+	multi := good
+	multi.MaxProcs = 8
+	requireFail(t, CheckScale(multi, nil, 0.10), "below the 1.5x floor")
+	multi.Points = append([]ScalePoint(nil), good.Points...)
+	multi.Points[1].ParallelEvPerSec = 3e6 * 2
+	multi.Points[1].ParallelSpeedup = 2
+	if fails := CheckScale(multi, nil, 0.10); len(fails) != 0 {
+		t.Fatalf("2x parallel speedup failed the multi-core gate: %v", fails)
+	}
 
 	// Baseline comparisons: a >10% events/sec drop fails, a smaller one and
 	// a baseline-only 16384 point do not.
@@ -108,8 +143,10 @@ func requireFail(t *testing.T, fails []string, substr string) {
 
 func TestScaleReportRoundTrip(t *testing.T) {
 	rep := ScaleReport{
+		SchemaVersion:   scaleSchemaVersion,
+		MaxProcs:        4,
 		Points:          []ScalePoint{{Ranks: 64, Lanes: 64, Events: 7744, Identical: true, Speedup: 2.5}},
-		Collectives:     []ScaleCollPoint{{Op: "bcast", Ranks: 1024, Bytes: 1024, Identical: true}},
+		Collectives:     []ScaleCollPoint{{Backend: "meiko/lowlatency", Op: "bcast", Ranks: 1024, Bytes: 1024, Identical: true}},
 		LaneAllocsPerOp: 0,
 	}
 	data, err := rep.Marshal()
@@ -122,5 +159,17 @@ func TestScaleReportRoundTrip(t *testing.T) {
 	}
 	if len(back.Points) != 1 || back.Points[0].Ranks != 64 || len(back.Collectives) != 1 {
 		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	if back.SchemaVersion != scaleSchemaVersion || back.MaxProcs != 4 || collBackend(back.Collectives[0]) != "meiko/lowlatency" {
+		t.Fatalf("round trip dropped v1 fields: %+v", back)
+	}
+	// A schema-v0 (mem-only) baseline still parses: missing fields default
+	// and backendless collective points read as mem.
+	v0, err := UnmarshalScale([]byte(`{"points":[{"ranks":1024}],"collectives":[{"op":"barrier","ranks":1024,"identical":true}],"lane_allocs_per_op":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.SchemaVersion != 0 || collBackend(v0.Collectives[0]) != "mem" {
+		t.Fatalf("v0 baseline misparsed: %+v", v0)
 	}
 }

@@ -186,48 +186,89 @@ func TestSoak(t *testing.T) {
 	}
 }
 
-// TestMemShardedConformance sweeps the full suite over the sharded kernel:
-// every scenario must pass and stay internally deterministic with ranks
-// spread across lanes (including lane counts that divide the world
-// unevenly).
-func TestMemShardedConformance(t *testing.T) {
-	for _, lanes := range []int{2, 3, 8} {
-		t.Run(fmt.Sprintf("lanes%d", lanes), func(t *testing.T) {
-			spec := registry.Spec{Platform: "mem", Credit: 4096, Lanes: lanes}
-			if err := Run(factory(t, spec), seeds[:2]); err != nil {
-				t.Fatal(err)
-			}
-		})
+// shardedSpecs lists one spec per backend family the sharded kernel must
+// reproduce bit-identically: the mem reference, both Meiko implementations
+// plus the staged fat tree (whose switch stages home on lane 0), and all
+// three cluster transports (the shared Ethernet segment likewise a lane-0
+// stage; the ATM switch routes between lanes).
+var shardedSpecs = []registry.Spec{
+	{Platform: "mem", Credit: 4096},
+	{Platform: "meiko"},
+	{Platform: "meiko", Impl: "mpich"},
+	{Platform: "meiko", FatTree: true},
+	{Platform: "cluster"},
+	{Platform: "cluster", Transport: "udp"},
+	{Platform: "cluster", Transport: "unet"},
+}
+
+func shardedName(s registry.Spec) string {
+	name := strings.ReplaceAll(s.Key(), "/", "_")
+	if s.FatTree {
+		name += "_fattree"
+	}
+	return name
+}
+
+// TestShardedConformance sweeps the full suite over the sharded kernel on
+// every shardable backend: each scenario must pass and stay internally
+// deterministic with ranks spread across lanes (including lane counts that
+// divide the world unevenly and exceed the rank count).
+func TestShardedConformance(t *testing.T) {
+	for _, base := range shardedSpecs {
+		for _, lanes := range []int{2, 3, 8} {
+			spec := base
+			spec.Lanes = lanes
+			t.Run(fmt.Sprintf("%s_lanes%d", shardedName(base), lanes), func(t *testing.T) {
+				if err := Run(factory(t, spec), seeds[:1]); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
 	}
 }
 
-// TestMemShardedMatchesSingleLane runs every scenario on the single-lane
-// and sharded kernels and requires identical per-rank virtual finish
-// times: sharding is a kernel implementation detail, not a model change.
-func TestMemShardedMatchesSingleLane(t *testing.T) {
-	for _, sc := range Scenarios() {
-		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
-			var elapsed [2][]int64
-			for i, lanes := range []int{0, 3} {
-				spec := registry.Spec{Platform: "mem", Credit: 4096, Lanes: lanes, Ranks: sc.Ranks}
-				w, err := registry.Build(spec)
-				if err != nil {
-					t.Fatal(err)
-				}
-				rep, err := mpi.Launch(w, func(c *mpi.Comm) error { return sc.Body(c, seeds[0]) })
-				if err != nil {
-					t.Fatalf("lanes %d: %v", lanes, err)
-				}
-				elapsed[i] = make([]int64, len(rep.RankElapsed))
-				for r, d := range rep.RankElapsed {
-					elapsed[i][r] = int64(d)
-				}
-			}
-			for r := range elapsed[0] {
-				if elapsed[0][r] != elapsed[1][r] {
-					t.Errorf("rank %d: single %dns, sharded %dns", r, elapsed[0][r], elapsed[1][r])
-				}
+// TestShardedMatchesSingleLane runs every scenario on the single-lane and
+// sharded kernels — the latter both sequentially and with the pinned-worker
+// parallel executor — and requires identical per-rank virtual finish times
+// on every backend: sharding is a kernel implementation detail, not a model
+// change.
+func TestShardedMatchesSingleLane(t *testing.T) {
+	for _, base := range shardedSpecs {
+		base := base
+		t.Run(shardedName(base), func(t *testing.T) {
+			for _, sc := range Scenarios() {
+				sc := sc
+				t.Run(sc.Name, func(t *testing.T) {
+					kernels := []struct {
+						name     string
+						lanes    int
+						parallel bool
+					}{{"single", 0, false}, {"sharded", 3, false}, {"parallel", 3, true}}
+					elapsed := make([][]int64, len(kernels))
+					for i, k := range kernels {
+						spec := base
+						spec.Lanes, spec.Parallel, spec.Ranks = k.lanes, k.parallel, sc.Ranks
+						w, err := registry.Build(spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rep, err := mpi.Launch(w, func(c *mpi.Comm) error { return sc.Body(c, seeds[0]) })
+						if err != nil {
+							t.Fatalf("%s: %v", k.name, err)
+						}
+						elapsed[i] = make([]int64, len(rep.RankElapsed))
+						for r, d := range rep.RankElapsed {
+							elapsed[i][r] = int64(d)
+						}
+					}
+					for i, k := range kernels[1:] {
+						for r := range elapsed[0] {
+							if elapsed[0][r] != elapsed[i+1][r] {
+								t.Errorf("rank %d: single %dns, %s %dns", r, elapsed[0][r], k.name, elapsed[i+1][r])
+							}
+						}
+					}
+				})
 			}
 		})
 	}

@@ -24,12 +24,18 @@ type FatTree struct {
 	m      *Machine
 	radix  int
 	stages int
+	stage  *sim.Stage      // lane-routable home for the shared switch state
 	down   [][][]*sim.FIFO // down[stage][subtree][lane]
 	// HopLatency is the per-switch traversal latency.
 	HopLatency sim.Duration
 }
 
-// NewFatTree attaches a radix-4 fat tree sized to cover all nodes.
+// NewFatTree attaches a radix-4 fat tree sized to cover all nodes. On a
+// sharded machine the tree's switch state homes on lane 0 as a sim.Stage:
+// every delivery detours there with its source stamp, reserves the
+// wormhole route backdated to the stamp, and exits to the destination's
+// lane — so the shard lookahead must not exceed HopLatency (the minimum
+// stamp-to-exit span is 2 hop latencies, the required 2x lookahead bound).
 func (m *Machine) NewFatTree() *FatTree {
 	const radix = 4
 	stages := 1
@@ -42,6 +48,10 @@ func (m *Machine) NewFatTree() *FatTree {
 	if t.HopLatency <= 0 {
 		t.HopLatency = 1
 	}
+	if sh := m.S.Shard(); sh != nil && t.HopLatency < sh.Lookahead() {
+		panic(fmt.Sprintf("meiko: fat-tree hop latency %v below shard lookahead %v", t.HopLatency, sh.Lookahead()))
+	}
+	t.stage = sim.NewStage(m.S)
 	t.down = make([][][]*sim.FIFO, stages)
 	for s := 0; s < stages; s++ {
 		nsub := (len(m.Nodes) + pow(radix, s+1) - 1) / pow(radix, s+1)
@@ -81,29 +91,32 @@ func (t *FatTree) climb(src, dst int) int {
 // wormhole-routed, so the whole descending path is reserved jointly for
 // one serialization span: the transfer starts when every lane on the
 // route is free and occupies them all together — the ascent contributes
-// hop latency only (full bisection). Event-context safe.
+// hop latency only (full bisection). Event-context safe; must be called
+// from src's lane context on a sharded machine. fn runs on dst's lane.
 func (t *FatTree) Deliver(src, dst, nbytes int, perByte sim.Duration, fn func()) {
 	hops := t.climb(src, dst)
 	d := sim.Duration(nbytes) * perByte
-	// Collect the route's down-link lanes.
-	route := make([]*sim.FIFO, 0, hops)
-	for stage := hops - 1; stage >= 0; stage-- {
-		lanes := t.down[stage][dst/pow(t.radix, stage+1)]
-		// Deterministic dispersive lane selection (Fibonacci hash of the
-		// source), standing in for the Elite switches' source routing.
-		route = append(route, lanes[int(uint32(src)*2654435761>>16)%len(lanes)])
-	}
-	start := t.m.S.Now()
-	for _, l := range route {
-		if l.BusyUntil() > start {
-			start = l.BusyUntil()
+	t.stage.Request(t.m.Nodes[src].S, func(t0 sim.Time) {
+		// Collect the route's down-link lanes.
+		route := make([]*sim.FIFO, 0, hops)
+		for stage := hops - 1; stage >= 0; stage-- {
+			lanes := t.down[stage][dst/pow(t.radix, stage+1)]
+			// Deterministic dispersive lane selection (Fibonacci hash of the
+			// source), standing in for the Elite switches' source routing.
+			route = append(route, lanes[int(uint32(src)*2654435761>>16)%len(lanes)])
 		}
-	}
-	end := start + sim.Time(d)
-	for _, l := range route {
-		l.ExtendBusy(end)
-	}
-	t.m.S.At(end+sim.Time(sim.Duration(2*hops)*t.HopLatency), fn)
+		start := t0
+		for _, l := range route {
+			if l.BusyUntil() > start {
+				start = l.BusyUntil()
+			}
+		}
+		end := start + sim.Time(d)
+		for _, l := range route {
+			l.ExtendBusy(end)
+		}
+		t.stage.Exit(t.m.Nodes[dst].Lane, end+sim.Time(sim.Duration(2*hops)*t.HopLatency), fn)
+	})
 }
 
 // Stages reports the tree depth.

@@ -15,8 +15,9 @@ import (
 // nodes pinned to shard lanes (NewShardedMachine): each node's Elan and
 // injection-port FIFOs then live on that node's lane, and the wire-latency
 // hop between nodes crosses lanes through Route — WireLatency is the
-// natural lookahead bound. The staged fat-tree model shares switch stages
-// across all node pairs and therefore only runs on the single-lane kernel.
+// natural lookahead bound. The staged fat-tree model homes its shared
+// switch stages on lane 0 as a sim.Stage (see NewFatTree); with the tree
+// attached the lookahead bound tightens to HopLatency = WireLatency/2.
 type Machine struct {
 	S     *sim.Scheduler
 	Costs Costs
@@ -24,8 +25,6 @@ type Machine struct {
 	// Tree, when set (see NewFatTree), routes unicast traffic through the
 	// staged fat-tree model instead of the flat-latency wire.
 	Tree *FatTree
-
-	sharded bool
 }
 
 // NewMachine builds an n-node CS/2 on scheduler s.
@@ -44,7 +43,7 @@ func NewShardedMachine(sh *sim.Shard, laneOf []int, n int, c Costs) *Machine {
 	if sim.Duration(c.WireLatency) < sh.Lookahead() {
 		panic(fmt.Sprintf("meiko: wire latency %v below shard lookahead %v", c.WireLatency, sh.Lookahead()))
 	}
-	m := &Machine{S: sh.Lane(0), Costs: c, sharded: true}
+	m := &Machine{S: sh.Lane(0), Costs: c}
 	for i := 0; i < n; i++ {
 		m.Nodes = append(m.Nodes, newNode(m, i, sh.Lane(laneOf[i]), laneOf[i]))
 	}
@@ -165,9 +164,6 @@ func (n *Node) Broadcast(nbytes int, onLocal func(), deliver func(dst *Node)) {
 // historical After path.
 func (m *Machine) transit(src *Node, dst, nbytes int, perByte sim.Duration, fn func()) {
 	if m.Tree != nil {
-		if m.sharded {
-			panic("meiko: the staged fat-tree model shares switch stages world-globally and cannot run on a sharded machine")
-		}
 		m.Tree.Deliver(src.ID, dst, nbytes, perByte, fn)
 		return
 	}

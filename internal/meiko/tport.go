@@ -72,7 +72,7 @@ type tportRndv struct {
 
 // NewTport attaches a tport to node n and registers it as the node's port.
 func (m *Machine) NewTport(n *Node) *Tport {
-	t := &Tport{node: n, arrival: sim.NewCond(m.S)}
+	t := &Tport{node: n, arrival: sim.NewCond(n.S)}
 	n.Port = t
 	return t
 }
@@ -102,7 +102,7 @@ func tagMatches(msgTag, want, mask uint64) bool { return (msgTag & mask) == (wan
 // rendezvous: DMA drained).
 func (t *Tport) ISend(p *sim.Proc, dst int, tag uint64, data []byte) *TportReq {
 	c := t.node.M.Costs
-	req := &TportReq{ev: t.node.M.NewEvent()}
+	req := &TportReq{ev: t.node.NewEvent()}
 	p.Advance(c.TportIssue) // SPARC hands the descriptor to the Elan
 	peer := t.node.M.Nodes[dst]
 	src := t.node.ID
@@ -153,7 +153,7 @@ func (t *Tport) Send(p *sim.Proc, dst int, tag uint64, data []byte) {
 // IRecv posts a receive for messages whose tag matches (tag, mask).
 func (t *Tport) IRecv(p *sim.Proc, tag, mask uint64, buf []byte) *TportReq {
 	c := t.node.M.Costs
-	req := &TportReq{ev: t.node.M.NewEvent()}
+	req := &TportReq{ev: t.node.NewEvent()}
 	p.Advance(c.TportIssue)
 	rc := &tportRecv{tag: tag, mask: mask, buf: buf, req: req}
 	// Matching against the unexpected queue runs on the Elan.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -31,9 +32,12 @@ type Shard struct {
 	lanes     []*Scheduler
 	lookahead Time
 
-	// Parallel selects goroutine-per-lane epoch execution. Off by default:
-	// the sequential path is faster on few cores and serves as the
-	// determinism oracle for the parallel one.
+	// Parallel selects pinned-worker epoch execution: min(GOMAXPROCS,
+	// lanes) persistent workers, each owning a contiguous block of lanes,
+	// woken once per epoch with the horizon and joined at the barrier. Off
+	// by default: the sequential path is the determinism oracle for the
+	// parallel one, and on a single core the worker pool degenerates to one
+	// worker with only a channel handoff per epoch of overhead.
 	Parallel bool
 
 	// Limits guard against runaway models; zero means no limit. MaxEvents
@@ -44,6 +48,14 @@ type Shard struct {
 
 	scratch []*xmsg // merge staging, reused across epochs
 	stats   ShardStats
+
+	// Pinned-worker pool (Parallel mode). Workers are started lazily by Run
+	// and torn down on every return path; each owns lanes [lo, hi) and
+	// touches nothing else during an epoch, so lane state needs no locks —
+	// the work channel send and barrier wait provide the happens-before
+	// edges for the control plane's reads between epochs.
+	work    []chan Time
+	barrier sync.WaitGroup
 }
 
 // xmsg is a pooled cross-lane envelope: an event staged in a lane outbox
@@ -247,11 +259,47 @@ func (sh *Shard) merge() {
 	sh.scratch = sc[:0]
 }
 
+// startWorkers spins up the pinned worker pool: each worker owns a
+// contiguous block of lanes and loops epoch-to-epoch on its work channel.
+// MaxEvents is read by workers and must not change while they run.
+func (sh *Shard) startWorkers() {
+	w := runtime.GOMAXPROCS(0)
+	if w > len(sh.lanes) {
+		w = len(sh.lanes)
+	}
+	sh.work = make([]chan Time, w)
+	for i := range sh.work {
+		ch := make(chan Time, 1)
+		sh.work[i] = ch
+		block := sh.lanes[i*len(sh.lanes)/w : (i+1)*len(sh.lanes)/w]
+		go func() {
+			for h := range ch {
+				for _, ln := range block {
+					ln.runWindow(h, sh.MaxEvents)
+				}
+				sh.barrier.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers tears the pool down (idempotent).
+func (sh *Shard) stopWorkers() {
+	for _, ch := range sh.work {
+		close(ch)
+	}
+	sh.work = nil
+}
+
 // Run drives all lanes to completion under the epoch/lookahead barrier and
 // returns the final virtual time. Deadlock (all queues and outboxes
 // drained with procs still parked) and limit overruns surface exactly as
 // on the single-lane kernel, as *DeadlockError / *LimitError.
 func (sh *Shard) Run() (Time, error) {
+	if sh.Parallel && len(sh.lanes) > 1 && sh.work == nil {
+		sh.startWorkers()
+		defer sh.stopWorkers()
+	}
 	for {
 		t0, any := sh.nextTime()
 		if !any {
@@ -272,20 +320,20 @@ func (sh *Shard) Run() (Time, error) {
 		}
 		h := t0 + sh.lookahead
 		sh.stats.Epochs++
-		if sh.Parallel && len(sh.lanes) > 1 {
-			var wg sync.WaitGroup
+		if sh.work != nil {
+			// Stalls are counted by the control plane before the workers
+			// wake (same predicate runWindow uses), so the counters stay
+			// off the worker hot path.
 			for _, ln := range sh.lanes {
 				if len(ln.events) == 0 || ln.events[0].t >= h {
 					sh.stats.Stalls++
-					continue
 				}
-				wg.Add(1)
-				go func(ln *Scheduler) {
-					defer wg.Done()
-					ln.runWindow(h, sh.MaxEvents)
-				}(ln)
 			}
-			wg.Wait()
+			sh.barrier.Add(len(sh.work))
+			for _, ch := range sh.work {
+				ch <- h
+			}
+			sh.barrier.Wait()
 		} else {
 			for _, ln := range sh.lanes {
 				if ln.runWindow(h, sh.MaxEvents) == 0 {

@@ -459,6 +459,21 @@ func (f *FIFO) reserve(d Duration) Time {
 	return start
 }
 
+// ReserveAt allocates the next slot of length d with the queueing clock
+// floored at t0 instead of the scheduler's now, and returns the completion
+// time. Stages use it when processing a request after the instant it was
+// stamped (see Stage): FIFO arithmetic depends only on the stamp and the
+// resource horizon, so a deferred reservation queues exactly as an
+// immediate one would have.
+func (f *FIFO) ReserveAt(t0 Time, d Duration) Time {
+	start := t0
+	if f.busyUntil > start {
+		start = f.busyUntil
+	}
+	f.busyUntil = start + Time(d)
+	return f.busyUntil
+}
+
 // BusyUntil reports the time at which currently reserved work completes.
 func (f *FIFO) BusyUntil() Time { return f.busyUntil }
 

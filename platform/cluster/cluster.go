@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/atm"
@@ -53,6 +54,12 @@ type Config struct {
 	Hosts     int
 	Transport TransportKind
 	Network   atm.MediumKind // OverATM or OverEthernet
+	// Lanes > 1 builds the world on the sharded kernel: hosts block-mapped
+	// onto that many lanes, the ATM switch hop routing between them, the
+	// shared Ethernet homed on lane 0 as a stage, and SwitchDelay as the
+	// lookahead bound. Incompatible with fault injection (the injector's
+	// RNG stream is world-global).
+	Lanes int
 	// Eager is the eager/rendezvous crossover in bytes (0 = DefaultEager).
 	Eager int
 	// CreditBytes is the per-(sender,receiver) reserved memory
@@ -102,16 +109,40 @@ func NewWorld(cfg Config) (*mpi.World, *atm.Cluster) {
 }
 
 func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
-	s := sim.NewScheduler(cfg.Seed + 1)
-	s.MaxEvents = 500_000_000
 	costs := atm.DefaultCosts()
 	if cfg.Costs != nil {
 		costs = *cfg.Costs
 	}
-	cl := atm.NewCluster(s, cfg.Hosts, costs)
 	faults := cfg.Faults
 	if faults == nil && cfg.LossRate > 0 {
 		faults = &atm.Faults{Seed: cfg.Seed, Loss: cfg.LossRate}
+	}
+	var (
+		cl     *atm.Cluster
+		sh     *sim.Shard
+		laneOf []int
+	)
+	if cfg.Lanes > 1 {
+		if faults != nil {
+			return nil, nil, fmt.Errorf("cluster: fault injection requires the single-lane kernel (Lanes=%d set)", cfg.Lanes)
+		}
+		lanes := cfg.Lanes
+		if lanes > cfg.Hosts {
+			lanes = cfg.Hosts
+		}
+		// One lane per host block; the switch forwarding delay is the
+		// minimum cross-lane stage latency and thus the lookahead bound.
+		sh = sim.NewShard(cfg.Seed+1, lanes, costs.SwitchDelay)
+		sh.MaxEvents = 500_000_000
+		laneOf = make([]int, cfg.Hosts)
+		for i := range laneOf {
+			laneOf[i] = i * lanes / cfg.Hosts
+		}
+		cl = atm.NewShardedCluster(sh, laneOf, costs)
+	} else {
+		s := sim.NewScheduler(cfg.Seed + 1)
+		s.MaxEvents = 500_000_000
+		cl = atm.NewCluster(s, cfg.Hosts, costs)
 	}
 	if faults != nil {
 		if err := cl.SetFaults(*faults); err != nil {
@@ -131,7 +162,7 @@ func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 	trs := make([]*transport, n)
 	eps := make([]core.Endpoint, n)
 	for i := 0; i < n; i++ {
-		eng := core.NewEngine(s, i, n, clusterEngineCosts(), nil)
+		eng := core.NewEngine(cl.SchedOf(i), i, n, clusterEngineCosts(), nil)
 		trs[i] = newTransport(cl, eng, i, n, eager, credit, cfg.Transport, cfg.Network, trs)
 		eng.SetTransport(trs[i])
 		eps[i] = eng
@@ -164,7 +195,12 @@ func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 		}
 	}
 
-	w := mpi.NewWorld(s, eps)
+	var w *mpi.World
+	if sh != nil {
+		w = mpi.NewShardedWorld(sh, eps, laneOf)
+	} else {
+		w = mpi.NewWorld(cl.S, eps)
+	}
 	w.Bcast = cfg.Bcast // BcastAuto defers to the collective layer's selector
 	return w, cl, nil
 }

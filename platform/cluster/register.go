@@ -35,6 +35,7 @@ func init() {
 func specConfig(s registry.Spec) (Config, error) {
 	cfg := Config{
 		Hosts:       s.Ranks,
+		Lanes:       s.Lanes,
 		Eager:       s.Eager,
 		CreditBytes: s.Credit,
 		Bcast:       s.Bcast,

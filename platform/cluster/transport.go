@@ -92,7 +92,7 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 		peers:      peers,
 		conns:      make([]*atm.TCP, size),
 		creditCap:  credit,
-		creditCond: sim.NewCond(cl.S),
+		creditCond: sim.NewCond(cl.SchedOf(rank)),
 		// A quarter of the reservation owed triggers an explicit credit
 		// return (one-sided traffic), keeping the pair deadlock-free.
 		owed:     flow.NewOwed(size, credit/4),

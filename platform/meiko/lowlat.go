@@ -62,7 +62,7 @@ func newLowlatTransport(m *meiko.Machine, node *meiko.Node, eng *core.Engine, ea
 		slots:  slots,
 		all:    all,
 		rndv:   make(map[int64]*core.Request),
-		bcCond: sim.NewCond(m.S),
+		bcCond: sim.NewCond(node.S),
 	}
 	t.fc = flow.NewQueue(len(all), slots, slots,
 		func(*core.Request) int { return 1 }, eng.Acct())
@@ -111,9 +111,19 @@ func (t *lowlatTransport) transmit(req *core.Request) {
 	t.eng.Acct().Incr("eager", 1)
 	// The per-sender envelope slot is modeled by a pooled bounce buffer:
 	// the receiving engine recycles it after the copy-out that frees the
-	// slot (single-scheduler worlds make the cross-rank Put safe).
-	pool := t.eng.Pool()
-	data := pool.Get(len(req.Buf))
+	// slot. A cross-lane Put would mutate this lane's freelist from the
+	// destination lane, so cross-lane transfers use a plain GC-owned
+	// buffer (Pool nil) instead.
+	var (
+		pool *core.BufPool
+		data []byte
+	)
+	if t.all[dst].node.S != t.node.S {
+		data = make([]byte, len(req.Buf))
+	} else {
+		pool = t.eng.Pool()
+		data = pool.Get(len(req.Buf))
+	}
 	copy(data, req.Buf)
 	t.node.Txn(dst, envelopeTxnBytes+len(data), false, func() {
 		t.all[dst].push(&core.Packet{Kind: core.PktEager, Env: env, Data: data, Pool: pool})
@@ -144,7 +154,16 @@ func (t *lowlatTransport) Accept(p *sim.Proc, msg *core.InMsg, req *core.Request
 		if n > len(req.Buf) {
 			n = len(req.Buf)
 		}
+		// The DMA landing event copies the payload on the receiver's lane,
+		// concurrent (same epoch) with sender-lane events that may reuse the
+		// buffer after SendDone — so cross-lane transfers snapshot it here,
+		// on the sender's lane, while the send still owns it.
 		payload := sreq.Buf
+		if sender.node.S != t.node.S {
+			snap := make([]byte, n)
+			copy(snap, sreq.Buf[:n])
+			payload = snap
+		}
 		sender.node.DMA(recvEng.Rank(), n,
 			func() { sender.eng.SendDone(sreq) },
 			func() {
@@ -266,7 +285,7 @@ func (ep *LowLatEndpoint) HWBcast(p *sim.Proc, root, ctx int, buf []byte) error 
 	acct.Charge(p, core.CostProtocol, c.DMAIssue)
 	payload := make([]byte, len(buf))
 	copy(payload, buf)
-	done := t.m.NewEvent()
+	done := t.node.NewEvent()
 	t.node.Broadcast(len(payload), func() { done.Set() }, func(dst *meiko.Node) {
 		rt := t.all[dst.ID]
 		rt.bcData = payload

@@ -40,6 +40,10 @@ func (i Impl) String() string {
 type Config struct {
 	Nodes int
 	Impl  Impl
+	// Lanes > 1 builds the world on the sharded kernel: nodes block-mapped
+	// onto that many lanes, with the wire latency — or the fat-tree hop
+	// latency, half of it, when FatTree is set — as the lookahead bound.
+	Lanes int
 	// Eager is the eager/rendezvous crossover in bytes; 0 means the
 	// paper's measured 180 (Figure 1). Only the low-latency
 	// implementation uses it.
@@ -66,13 +70,39 @@ const DefaultEager = 180
 
 // NewWorld builds the machine and per-rank endpoints for cfg.
 func NewWorld(cfg Config) (*mpi.World, *meiko.Machine) {
-	s := sim.NewScheduler(cfg.Seed + 1)
-	s.MaxEvents = 500_000_000
 	costs := meiko.DefaultCosts()
 	if cfg.Costs != nil {
 		costs = *cfg.Costs
 	}
-	m := meiko.NewMachine(s, cfg.Nodes, costs)
+	var (
+		m      *meiko.Machine
+		sh     *sim.Shard
+		laneOf []int
+	)
+	if cfg.Lanes > 1 {
+		lanes := cfg.Lanes
+		if lanes > cfg.Nodes {
+			lanes = cfg.Nodes
+		}
+		// The lookahead bound is the minimum cross-lane stage latency: the
+		// flat wire hop, or the per-switch hop (WireLatency/2) once the
+		// fat tree stages the route.
+		lookahead := sim.Duration(costs.WireLatency)
+		if cfg.FatTree {
+			lookahead /= 2
+		}
+		sh = sim.NewShard(cfg.Seed+1, lanes, lookahead)
+		sh.MaxEvents = 500_000_000
+		laneOf = make([]int, cfg.Nodes)
+		for i := range laneOf {
+			laneOf[i] = i * lanes / cfg.Nodes
+		}
+		m = meiko.NewShardedMachine(sh, laneOf, cfg.Nodes, costs)
+	} else {
+		s := sim.NewScheduler(cfg.Seed + 1)
+		s.MaxEvents = 500_000_000
+		m = meiko.NewMachine(s, cfg.Nodes, costs)
+	}
 	if cfg.FatTree {
 		m.Tree = m.NewFatTree()
 	}
@@ -86,7 +116,7 @@ func NewWorld(cfg Config) (*mpi.World, *meiko.Machine) {
 	case LowLatency:
 		trs := make([]*lowlatTransport, cfg.Nodes)
 		for i := 0; i < cfg.Nodes; i++ {
-			eng := core.NewEngine(s, i, cfg.Nodes, lowlatEngineCosts(), nil)
+			eng := core.NewEngine(m.Nodes[i].S, i, cfg.Nodes, lowlatEngineCosts(), nil)
 			trs[i] = newLowlatTransport(m, m.Nodes[i], eng, eager, cfg.EnvelopeSlots, trs)
 			eng.SetTransport(trs[i])
 			eps[i] = &LowLatEndpoint{Engine: eng, tr: trs[i]}
@@ -97,7 +127,12 @@ func NewWorld(cfg Config) (*mpi.World, *meiko.Machine) {
 		}
 	}
 
-	w := mpi.NewWorld(s, eps)
+	var w *mpi.World
+	if sh != nil {
+		w = mpi.NewShardedWorld(sh, eps, laneOf)
+	} else {
+		w = mpi.NewWorld(m.S, eps)
+	}
 	switch {
 	case cfg.Bcast != mpi.BcastAuto:
 		w.Bcast = cfg.Bcast

@@ -95,7 +95,7 @@ func (e *MPICHEndpoint) trc(kind trace.Kind, peer, tag, bytes int, note string) 
 	if e.trace == nil {
 		return
 	}
-	e.trace.Add(trace.Event{T: e.m.S.Now(), Rank: e.rank, Kind: kind, Peer: peer, Tag: tag, Bytes: bytes, Note: note})
+	e.trace.Add(trace.Event{T: e.node.S.Now(), Rank: e.rank, Kind: kind, Peer: peer, Tag: tag, Bytes: bytes, Note: note})
 }
 
 type mpichOp struct {
@@ -130,7 +130,7 @@ func (e *MPICHEndpoint) Size() int { return e.size }
 func (e *MPICHEndpoint) Acct() *core.Acct { return e.acct }
 
 // Scheduler implements core.Endpoint.
-func (e *MPICHEndpoint) Scheduler() *sim.Scheduler { return e.m.S }
+func (e *MPICHEndpoint) Scheduler() *sim.Scheduler { return e.node.S }
 
 // Port exposes the underlying tport (instrumentation).
 func (e *MPICHEndpoint) Port() *meiko.Tport { return e.port }

@@ -37,6 +37,7 @@ func init() {
 func specConfig(s registry.Spec) (Config, error) {
 	cfg := Config{
 		Nodes:         s.Ranks,
+		Lanes:         s.Lanes,
 		Eager:         s.Eager,
 		Bcast:         s.Bcast,
 		FatTree:       s.FatTree,

@@ -37,7 +37,8 @@ type Spec struct {
 	Transport string // cluster transport: "tcp" | "udp" | "unet" ("" = tcp)
 	Network   string // cluster network: "atm" | "eth" ("" = atm)
 	Ranks     int
-	Lanes     int   // sharded-kernel lanes (0/1 = single-lane kernel; mem backend only)
+	Lanes     int   // sharded-kernel lanes (0/1 = single-lane kernel)
+	Parallel  bool  // sharded kernel: pinned-worker parallel epoch execution
 	Eager     int   // eager/rendezvous crossover bytes (0 = platform default)
 	Credit    int   // cluster per-pair reserved receiver bytes (0 = default)
 	Costs     any   // platform cost-model override (*meiko.Costs, *atm.Costs; nil = calibrated)
@@ -150,17 +151,21 @@ func Build(s Spec) (*mpi.World, error) {
 	if s.HasFaults() && s.Platform != "cluster" {
 		return nil, fmt.Errorf("backend %q: fault injection (loss/delay/reorder/partition) exists only on the cluster platform", s.Key())
 	}
-	if s.Lanes > 1 && s.Platform != "mem" {
-		// The Meiko fat-tree and the cluster's shared Ethernet/ATM switch
-		// stages are world-global resources that cannot be partitioned into
-		// independent lanes yet; the media carry lane-pinned node FIFOs
-		// (see internal/meiko, internal/atm) but the full backends stay on
-		// the single-lane kernel until those stages are lane-aware.
-		return nil, fmt.Errorf("backend %q: sharded kernel (Lanes=%d) is only supported on the mem backend; %s media share world-global switch stages", s.Key(), s.Lanes, s.Platform)
+	if s.Lanes > 1 && s.HasFaults() {
+		// The fault injector draws from one world-global RNG stream and
+		// mutates shared policy state on every admit, so its decisions
+		// would depend on cross-lane execution order. Fault sweeps run on
+		// the single-lane kernel.
+		return nil, fmt.Errorf("backend %q: fault injection requires the single-lane kernel (the injector's RNG stream is world-global); drop Lanes or the fault knobs", s.Key())
 	}
 	w, err := b(s)
 	if err != nil {
 		return nil, err
+	}
+	if w.Sh != nil {
+		w.Sh.Parallel = s.Parallel
+	} else if s.Parallel {
+		return nil, fmt.Errorf("backend %q: Parallel needs the sharded kernel (set Lanes > 1)", s.Key())
 	}
 	if s.Coll != "" {
 		t, err := coll.ParseTuning(s.Coll)

@@ -80,6 +80,26 @@ func TestBuildRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+// Every backend accepts the sharded kernel, but its two remaining
+// restrictions — no fault injection across lanes, no parallel execution
+// without lanes — must fail loudly rather than degrade silently.
+func TestBuildShardedKernel(t *testing.T) {
+	for _, name := range registry.Names() {
+		spec := registry.SpecFor(name)
+		spec.Ranks, spec.Lanes = 2, 2
+		if _, err := registry.Build(spec); err != nil {
+			t.Errorf("backend %q rejected Lanes=2: %v", name, err)
+		}
+	}
+	_, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Lanes: 2, LossRate: 0.01})
+	if err == nil || !strings.Contains(err.Error(), "single-lane") {
+		t.Errorf("faults with lanes must name the single-lane kernel, got %v", err)
+	}
+	if _, err := registry.Build(registry.Spec{Platform: "mem", Ranks: 2, Parallel: true}); err == nil {
+		t.Error("Parallel without lanes must fail")
+	}
+}
+
 // Every backend must run a minimal job end to end through Run.
 func TestRunSmokeEveryBackend(t *testing.T) {
 	for _, name := range registry.Names() {
