@@ -5,9 +5,10 @@
 //	mpirun -np 4 -app particles -platform cluster -net eth
 //	mpirun -np 8 -app samplesort -platform cluster -transport unet
 //
-// Backends come from platform/registry; -platform/-impl/-transport are
-// validated against the registered names, so a typo prints the listing
-// instead of silently falling back to a default.
+// Backends come from platform/registry; -platform/-impl/-transport
+// resolve through registry.Run, whose typed errors list the registered
+// backends (or algorithms, for -coll) on a typo instead of silently
+// falling back to a default.
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/coll"
 	"repro/mpi"
 	"repro/platform/registry"
 
@@ -34,7 +34,7 @@ func main() {
 	app := flag.String("app", "linsolve", strings.Join(appNames, " | "))
 	platform := flag.String("platform", "meiko", "meiko | cluster | mem")
 	impl := flag.String("impl", "", "meiko implementation: lowlatency | mpich (default lowlatency)")
-	transport := flag.String("transport", "", "cluster transport: tcp | udp | unet (default tcp)")
+	transport := flag.String("transport", "", "cluster transport: tcp | udp | unet | shm (default tcp)")
 	network := flag.String("net", "", "cluster network: atm | eth (default atm)")
 	n := flag.Int("n", 0, "problem size (0 = per-app default)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -50,6 +50,7 @@ func main() {
 	dropnth := flag.Int("dropnth", 0, "cluster: deterministically drop every Nth frame")
 	partition := flag.String("partition", "", `cluster: partition schedule, e.g. "0-1@5ms:20ms;2-*" (A-B[@FROM:UNTIL], * = any host)`)
 	faultseed := flag.Int64("faultseed", 0, "cluster: fault-injection RNG seed (0 = derive from -seed)")
+	nortr := flag.Bool("nortr", false, "cluster: disable the RDMA-write rendezvous (pin large sends to RTS/CTS)")
 	flag.Parse()
 
 	validApp := false
@@ -82,15 +83,7 @@ func main() {
 		DropEveryN: *dropnth,
 		Partition:  *partition,
 		FaultSeed:  *faultseed,
-	}
-	if _, ok := registry.Lookup(spec.Key()); !ok {
-		log.Fatalf("mpirun: no backend %q\nregistered backends:\n  %s",
-			spec.Key(), strings.Join(registry.Names(), "\n  "))
-	}
-	if _, err := coll.ParseTuning(*collTune); err != nil {
-		// Validate up front so a typo prints the registered algorithm
-		// listing instead of failing mid-job.
-		log.Fatalf("mpirun: %v", err)
+		NoRTR:      *nortr,
 	}
 
 	secPerFlop := apps.MeikoSecPerFlop
@@ -157,7 +150,9 @@ func main() {
 
 	rep, err := registry.Run(spec, body)
 	if err != nil {
-		log.Fatal(err)
+		// registry.Build's typed errors carry the registered backend and
+		// algorithm listings, so a typo prints them instead of a usage dump.
+		log.Fatalf("mpirun: %v", err)
 	}
 	fmt.Printf("job: %d ranks on %s, finished at virtual t=%v (%d sends, %d receives)\n",
 		*np, spec.Key(), rep.MaxRankElapsed, rep.Acct.Count["send"], rep.Acct.Count["recv"])

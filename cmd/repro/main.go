@@ -31,6 +31,7 @@ func main() {
 	collectives := flag.Bool("collectives", false, "sweep every collective algorithm across sizes and derive crossovers")
 	faults := flag.Bool("faults", false, "sweep latency and bandwidth across injected loss rates on every cluster transport")
 	matchbench := flag.Bool("matchbench", false, "run the receive-matching microbenchmarks (indexed vs linear, allocation profile)")
+	rma := flag.Bool("rma", false, "run the one-sided (RMA) sweep and the RDMA-write rendezvous ablation")
 	scale := flag.Bool("scale", false, "run the kernel scale sweep (sharded vs single-lane, 64-4096 ranks; 16384 with -full)")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
@@ -41,6 +42,8 @@ func main() {
 	faultsJSONPath := flag.String("faultsjson", "BENCH_faults.json", "with -faults: write the machine-readable record here (\"\" disables)")
 	matchJSONPath := flag.String("matchjson", "BENCH_match.json", "with -matchbench: write the machine-readable record here (\"\" disables)")
 	matchBaseline := flag.String("matchbaseline", "", "with -matchbench: compare against this committed baseline and exit nonzero on >10% regression")
+	rmaJSONPath := flag.String("rmajson", "BENCH_rma.json", "with -rma: write the machine-readable record here (\"\" disables)")
+	rmaBaseline := flag.String("rmabaseline", "", "with -rma: compare against this committed baseline and exit nonzero on regression (the RTR>RTS/CTS floor applies regardless)")
 	scaleJSONPath := flag.String("scalejson", "BENCH_scale.json", "with -scale: write the machine-readable record here (\"\" disables)")
 	scaleBaseline := flag.String("scalebaseline", "", "with -scale: compare against this committed baseline and exit nonzero on >10% events/sec regression or any allocs/op increase")
 	flag.Parse()
@@ -83,9 +86,10 @@ func main() {
 		*collectives = true
 		*faults = true
 		*matchbench = true
+		*rma = true
 		*scale = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*scale {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*rma && !*scale {
 		flag.Usage()
 		return
 	}
@@ -221,6 +225,42 @@ func main() {
 		if fails := bench.CheckMatch(rep, base, 0.10); len(fails) > 0 {
 			for _, f := range fails {
 				log.Printf("matchbench regression: %s", f)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *rma {
+		var base *bench.RMAReport
+		if *rmaBaseline != "" {
+			data, err := os.ReadFile(*rmaBaseline)
+			if err != nil {
+				log.Fatalf("rma baseline: %v", err)
+			}
+			b, err := bench.UnmarshalRMA(data)
+			if err != nil {
+				log.Fatalf("rma baseline: %v", err)
+			}
+			base = &b
+		}
+		rep, err := bench.RMABench(o)
+		if err != nil {
+			log.Fatalf("rma: %v", err)
+		}
+		fmt.Println(bench.FormatRMA(rep))
+		if *rmaJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("rma json: %v", err)
+			}
+			if err := os.WriteFile(*rmaJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *rmaJSONPath)
+		}
+		if fails := bench.CheckRMA(rep, base, 0.10); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("rma regression: %s", f)
 			}
 			os.Exit(1)
 		}

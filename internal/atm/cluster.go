@@ -21,9 +21,10 @@ type Cluster struct {
 	Atm   *ATMNet
 
 	// Every protocol stack reaches the wire through these fault injectors
-	// (transparent until SetFaults installs a policy; installing one on a
-	// sharded cluster is rejected upstream — the injector draws from one
-	// world-global RNG stream).
+	// (transparent until SetFaults installs a policy). On a sharded
+	// cluster each (src, dst) link draws from its own seed-derived RNG
+	// stream, so fault decisions are independent of lane interleaving;
+	// single-lane runs keep the legacy world-global stream bit-for-bit.
 	ethInj, atmInj *Injector
 
 	scheds []*sim.Scheduler // per-host lane scheduler; nil when unsharded
@@ -74,6 +75,8 @@ func NewShardedCluster(sh *sim.Shard, laneOf []int, c Costs) *Cluster {
 	}
 	cl.ethInj = NewInjector(cl.S, cl.Eth)
 	cl.atmInj = NewInjector(cl.S, cl.Atm)
+	cl.ethInj.Shard(n, cl.SchedOf)
+	cl.atmInj.Shard(n, cl.SchedOf)
 	return cl
 }
 

@@ -40,6 +40,14 @@ type Costs struct {
 	ATMPerByte   sim.Duration // 155 Mbit/s per port
 	SwitchDelay  sim.Duration // ASX-200 forwarding latency per packet
 	EthPropDelay sim.Duration // Ethernet propagation (tiny)
+
+	// Shared memory segment (the cluster's attached-memory interconnect:
+	// hosts mapping one coherent segment, the CXL-style analogue of the
+	// Meiko's remote-store hardware). No kernel, no framing — a store
+	// becomes remotely visible after ShmLatency plus the segment's copy
+	// bandwidth.
+	ShmLatency sim.Duration // visibility latency of a remote store
+	ShmPerByte sim.Duration // segment copy bandwidth
 }
 
 // DefaultCosts reproduces the paper's measured anchors:
@@ -70,6 +78,9 @@ func DefaultCosts() Costs {
 		ATMPerByte:   52 * time.Nanosecond,  // 155 Mbit/s per port
 		SwitchDelay:  10 * time.Microsecond,
 		EthPropDelay: 2 * time.Microsecond,
+
+		ShmLatency: 2 * time.Microsecond,
+		ShmPerByte: 1 * time.Nanosecond, // ~1 GB/s segment bandwidth
 	}
 }
 

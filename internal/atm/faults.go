@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -119,13 +120,15 @@ func (f Faults) Validate() error {
 	return nil
 }
 
-// FaultStats counts injected events (tests and instrumentation).
+// FaultStats counts injected events (tests and instrumentation). Counters
+// are updated atomically: on a sharded cluster frames from different
+// source lanes pass the injector concurrently.
 type FaultStats struct {
-	Dropped     int // frames lost to Loss or DropEveryN
-	Partitioned int // frames severed by a partition
-	Duplicated  int // frames delivered twice
-	Reordered   int // frames held past their successors
-	Delayed     int // frames carrying added Delay/Jitter
+	Dropped     int64 // frames lost to Loss or DropEveryN
+	Partitioned int64 // frames severed by a partition
+	Duplicated  int64 // frames delivered twice
+	Reordered   int64 // frames held past their successors
+	Delayed     int64 // frames carrying added Delay/Jitter
 }
 
 // Injector applies a Faults policy in front of a Medium. With no policy set
@@ -142,12 +145,54 @@ type Injector struct {
 	rng    *rand.Rand
 	nth    int // droppable-frame counter for DropEveryN
 
+	// Per-link mode (sharded clusters): one independent RNG stream and
+	// DropEveryN counter per (src, dst) pair, each derived from the policy
+	// seed, the endpoints, and the medium kind. Frames of one pair always
+	// originate on the source host's lane, so each stream is consumed
+	// sequentially even when lanes run in parallel — and a single-lane run
+	// keeps the legacy world-global stream, bit-identical to earlier
+	// releases.
+	links   []faultLink // n*n, indexed src*n+dst; nil when unsharded
+	n       int
+	schedOf func(h int) *sim.Scheduler
+
 	Stats FaultStats
+}
+
+// faultLink is one (src, dst) pair's private fault stream.
+type faultLink struct {
+	rng *rand.Rand
+	nth int
 }
 
 // NewInjector wraps inner with a (initially empty) fault policy.
 func NewInjector(s *sim.Scheduler, inner Medium) *Injector {
 	return &Injector{s: s, inner: inner}
+}
+
+// Shard switches the injector to per-link fault streams for an n-host
+// sharded cluster, with schedOf naming each host's lane scheduler (fault
+// decisions and added delays happen on the frame's source lane).
+func (in *Injector) Shard(n int, schedOf func(h int) *sim.Scheduler) {
+	in.n = n
+	in.schedOf = schedOf
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash for
+// deriving independent per-link seeds from (seed, src, dst, medium).
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// linkSeed derives the (src, dst) pair's stream seed.
+func (in *Injector) linkSeed(seed int64, src, dst int) int64 {
+	z := splitmix64(uint64(seed))
+	z = splitmix64(z ^ uint64(src+1)<<32 ^ uint64(dst+1))
+	z = splitmix64(z ^ uint64(in.inner.Kind()))
+	return int64(z)
 }
 
 // Set installs policy f; an inactive policy clears the injector.
@@ -160,9 +205,18 @@ func (in *Injector) Set(f Faults) error {
 		return nil
 	}
 	cp := f
+	in.policy = &cp
+	if in.n > 0 {
+		in.links = make([]faultLink, in.n*in.n)
+		for src := 0; src < in.n; src++ {
+			for dst := 0; dst < in.n; dst++ {
+				in.links[src*in.n+dst] = faultLink{rng: rand.New(rand.NewSource(in.linkSeed(f.Seed, src, dst)))}
+			}
+		}
+		return nil
+	}
 	// Distinct streams per medium so eth and atm draws do not track each
 	// other under the same policy seed.
-	in.policy = &cp
 	in.rng = rand.New(rand.NewSource(f.Seed<<1 ^ int64(in.inner.Kind())))
 	in.nth = 0
 	return nil
@@ -172,6 +226,7 @@ func (in *Injector) Set(f Faults) error {
 func (in *Injector) Clear() {
 	in.policy = nil
 	in.rng = nil
+	in.links = nil
 }
 
 // Policy reports the installed policy (nil when passthrough).
@@ -183,52 +238,67 @@ func (in *Injector) Kind() MediumKind { return in.inner.Kind() }
 // MTU implements Medium.
 func (in *Injector) MTU() int { return in.inner.MTU() }
 
+// srcSched reports the scheduler owning frames from host src: its lane on
+// a sharded cluster, the world scheduler otherwise.
+func (in *Injector) srcSched(src int) *sim.Scheduler {
+	if in.schedOf == nil {
+		return in.s
+	}
+	return in.schedOf(src)
+}
+
 // plan decides one frame's fate: dropped, or delivered once (or twice, when
 // duplicated) with the listed extra delays. It consumes randomness only when
-// a policy is installed.
+// a policy is installed. It runs on the frame's source lane; per-link
+// streams make the draws independent of cross-lane interleaving.
 func (in *Injector) plan(src, dst int, droppable bool) (drop bool, extras []sim.Duration) {
 	f := in.policy
 	if f == nil {
 		return false, nil
 	}
-	now := in.s.Now()
+	rng, nth := in.rng, &in.nth
+	if in.links != nil {
+		l := &in.links[src*in.n+dst]
+		rng, nth = l.rng, &l.nth
+	}
+	now := in.srcSched(src).Now()
 	for _, pt := range f.Partitions {
 		if pt.blocks(src, dst, now) {
-			in.Stats.Partitioned++
+			atomic.AddInt64(&in.Stats.Partitioned, 1)
 			return true, nil
 		}
 	}
 	if droppable {
 		if f.DropEveryN > 0 {
-			in.nth++
-			if in.nth%f.DropEveryN == 0 {
-				in.Stats.Dropped++
+			*nth++
+			if *nth%f.DropEveryN == 0 {
+				atomic.AddInt64(&in.Stats.Dropped, 1)
 				return true, nil
 			}
 		}
-		if f.Loss > 0 && in.rng.Float64() < f.Loss {
-			in.Stats.Dropped++
+		if f.Loss > 0 && rng.Float64() < f.Loss {
+			atomic.AddInt64(&in.Stats.Dropped, 1)
 			return true, nil
 		}
 	}
 	extra := f.Delay
 	if f.Jitter > 0 {
-		extra += sim.Duration(in.rng.Int63n(int64(f.Jitter)))
+		extra += sim.Duration(rng.Int63n(int64(f.Jitter)))
 	}
-	if droppable && f.Reorder > 0 && in.rng.Float64() < f.Reorder {
+	if droppable && f.Reorder > 0 && rng.Float64() < f.Reorder {
 		hold := f.ReorderDelay
 		if hold == 0 {
 			hold = DefaultReorderDelay
 		}
 		extra += hold
-		in.Stats.Reordered++
+		atomic.AddInt64(&in.Stats.Reordered, 1)
 	}
 	if extra > 0 {
-		in.Stats.Delayed++
+		atomic.AddInt64(&in.Stats.Delayed, 1)
 	}
 	extras = []sim.Duration{extra}
-	if droppable && f.Duplicate > 0 && in.rng.Float64() < f.Duplicate {
-		in.Stats.Duplicated++
+	if droppable && f.Duplicate > 0 && rng.Float64() < f.Duplicate {
+		atomic.AddInt64(&in.Stats.Duplicated, 1)
 		extras = append(extras, extra)
 	}
 	return false, extras
@@ -250,7 +320,9 @@ func (in *Injector) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) b
 			in.inner.Deliver(src, dst, n, opts, deliver)
 			continue
 		}
-		in.s.After(extra, func() {
+		// The hold timer lives on the source lane (where the send runs);
+		// the wrapped medium does its own cross-lane routing afterwards.
+		in.srcSched(src).After(extra, func() {
 			in.inner.Deliver(src, dst, n, opts, deliver)
 		})
 	}

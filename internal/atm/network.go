@@ -2,6 +2,7 @@ package atm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -173,6 +174,7 @@ type ATMNet struct {
 	s        *sim.Scheduler
 	c        Costs
 	up, down []*sim.FIFO
+	ports    []*portArbiter
 
 	scheds []*sim.Scheduler // per-host lane scheduler; nil when unsharded
 	laneOf []int
@@ -184,6 +186,7 @@ func NewATMNet(s *sim.Scheduler, n int, c Costs) *ATMNet {
 	for i := 0; i < n; i++ {
 		a.up = append(a.up, sim.NewFIFO(s, fmt.Sprintf("atm-up%d", i)))
 		a.down = append(a.down, sim.NewFIFO(s, fmt.Sprintf("atm-down%d", i)))
+		a.ports = append(a.ports, &portArbiter{})
 	}
 	return a
 }
@@ -201,8 +204,86 @@ func NewShardedATMNet(sh *sim.Shard, laneOf []int, c Costs) *ATMNet {
 		a.scheds = append(a.scheds, ls)
 		a.up = append(a.up, sim.NewFIFO(ls, fmt.Sprintf("atm-up%d", i)))
 		a.down = append(a.down, sim.NewFIFO(ls, fmt.Sprintf("atm-down%d", i)))
+		a.ports = append(a.ports, &portArbiter{})
 	}
 	return a
+}
+
+// portArbiter serializes one destination port's downlink with a fixed
+// arbitration order. The downlink is the fabric's only resource shared by
+// several senders, so when two packets reach the switch output at the same
+// virtual instant, which one wins decides both their delivery order and
+// their queueing delays. Event execution order at equal timestamps is a
+// kernel artifact — insertion order on the single scheduler, the
+// (lane, sequence) merge on the shard — so reserving the FIFO directly in
+// arrival order would let the two kernels resolve the tie differently.
+// Instead arrivals buffer for one sub-cell arbitration window and reserve
+// in (stamp, source-port) order, the ASX-200's fixed port priority:
+// reservations are backdated to their stamps (FIFO.ReserveAt), so untied
+// traffic keeps bit-identical timing and tied packets get one canonical
+// winner on both kernels.
+type portArbiter struct {
+	pending []portReq
+	flushAt sim.Time // scheduled flush; zero when none pending
+}
+
+type portReq struct {
+	stamp   sim.Time
+	src     int
+	wire    sim.Duration
+	deliver func()
+}
+
+// portArbDelay is the arbitration window. It must stay below the minimum
+// downlink occupancy (one cell, ~2.8 µs) so reservations are always booked
+// before their completion events fire.
+const portArbDelay sim.Duration = 100 // ns
+
+// enqueue registers an arrival at dst's switch output. Runs on dst's lane.
+func (a *ATMNet) enqueue(dst, src int, wire sim.Duration, deliver func()) {
+	s := a.schedOf(dst)
+	q := a.ports[dst]
+	q.pending = append(q.pending, portReq{stamp: s.Now(), src: src, wire: wire, deliver: deliver})
+	if q.flushAt == 0 {
+		q.flushAt = s.Now() + sim.Time(portArbDelay)
+		s.At(q.flushAt, func() { a.flush(dst) })
+	}
+}
+
+// flush reserves the downlink for every arrival stamped strictly before
+// now, in (stamp, src) order. Arrivals stamped exactly at the flush
+// instant wait for the next window — they may land in the pending list
+// before or after this event depending on kernel tie-breaking, so deciding
+// them here would reintroduce the ambiguity the arbiter removes.
+func (a *ATMNet) flush(dst int) {
+	s := a.schedOf(dst)
+	now := s.Now()
+	q := a.ports[dst]
+	q.flushAt = 0
+	batch := q.pending[:0:0]
+	rest := q.pending[:0]
+	for _, r := range q.pending {
+		if r.stamp < now {
+			batch = append(batch, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	q.pending = rest
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].stamp != batch[j].stamp {
+			return batch[i].stamp < batch[j].stamp
+		}
+		return batch[i].src < batch[j].src
+	})
+	for _, r := range batch {
+		end := a.down[dst].ReserveAt(r.stamp, r.wire)
+		s.At(end+sim.Time(a.c.I960PerPacket+a.c.DriverATMPerFrame), r.deliver)
+	}
+	if len(q.pending) > 0 && q.flushAt == 0 {
+		q.flushAt = now + sim.Time(portArbDelay)
+		s.At(q.flushAt, func() { a.flush(dst) })
+	}
 }
 
 func (a *ATMNet) schedOf(host int) *sim.Scheduler {
@@ -235,16 +316,16 @@ func (a *ATMNet) Deliver(src, dst, n int, opts DeliverOpts, deliver func()) bool
 	wire := sim.Duration(wireBytes) * a.c.ATMPerByte
 	ss := a.schedOf(src)
 	// Outbound SAR on the i960, uplink serialization, switch forwarding,
-	// downlink serialization, inbound SAR, then the STREAMS driver. The
-	// switch hop routes to the destination's lane, so the downlink is
-	// reserved in destination context at the same virtual time the
-	// single-scheduler model reserved it.
+	// then the destination port arbiter, which reserves the downlink
+	// (backdated to the switch-hop arrival) and schedules inbound SAR plus
+	// the STREAMS driver after the serialization completes. The switch hop
+	// routes to the destination's lane, so the downlink is reserved in
+	// destination context at the same virtual time the single-scheduler
+	// model reserved it.
 	ss.After(a.c.I960PerPacket, func() {
 		a.up[src].UseAsync(wire, func() {
 			ss.RouteAfter(a.lane(dst), a.c.SwitchDelay, func() {
-				a.down[dst].UseAsync(wire, func() {
-					a.schedOf(dst).After(a.c.I960PerPacket+a.c.DriverATMPerFrame, deliver)
-				})
+				a.enqueue(dst, src, wire, deliver)
 			})
 		})
 	})

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/mpi"
+	"repro/platform/registry"
+)
+
+// The -rma sweep: one-sided communication cost on the backends with a
+// native remote-memory primitive, plus the RDMA-write rendezvous ablation
+// on the socket transports — the same large two-sided transfer with the
+// receiver's pre-posted buffer advertised (the sender writes data
+// directly) versus pinned to the classic RTS/CTS round trip.
+//
+// Every number is virtual time, so the record is deterministic and the
+// gate compares values exactly as committed: a drift is a model change,
+// not host noise.
+
+// RMAPutPoint is one Put+Fence epoch measurement on a native-RMA backend.
+type RMAPutPoint struct {
+	Backend string  `json:"backend"`
+	Bytes   int     `json:"bytes"`
+	EpochUS float64 `json:"epoch_us"`
+}
+
+// RMARendezvousPoint compares a pre-posted large-message ping-pong with
+// the RDMA-write rendezvous enabled against the same exchange pinned to
+// RTS/CTS. Speedup > 1 means skipping the CTS round trip paid off.
+type RMARendezvousPoint struct {
+	Backend    string  `json:"backend"`
+	Bytes      int     `json:"bytes"`
+	RTRUS      float64 `json:"rtr_us"`
+	TwoSidedUS float64 `json:"two_sided_us"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// RMAReport is the machine-readable record cmd/repro writes as
+// BENCH_rma.json. The committed copy is the baseline CI gates against
+// (see CheckRMA).
+type RMAReport struct {
+	Iters      int                  `json:"iters"`
+	Puts       []RMAPutPoint        `json:"puts"`
+	Rendezvous []RMARendezvousPoint `json:"rendezvous"`
+}
+
+// rmaPutEpoch measures one rank Putting n bytes into its neighbor's window
+// each epoch, reporting the mean Put+Fence epoch time in microseconds.
+func rmaPutEpoch(w *mpi.World, n, iters int) (float64, error) {
+	var per time.Duration
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		win, err := c.WinCreate(n)
+		if err != nil {
+			return err
+		}
+		data := make([]byte, n)
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		start := c.Wtime()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				if err := win.Put(1, 0, data); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+		}
+		per = (c.Wtime() - start) / time.Duration(iters)
+		return win.Free()
+	})
+	return float64(per) / 1e3, err
+}
+
+// prePostedPingPong measures an n-byte ping-pong where both sides post
+// their receive (and let the advert propagate under a barrier) before the
+// matching send starts — the shape the RDMA-write rendezvous accelerates.
+// Reports the mean round trip, barrier included, in microseconds.
+func prePostedPingPong(w *mpi.World, n, iters int) (float64, error) {
+	var rtt time.Duration
+	_, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		data := make([]byte, n)
+		buf := make([]byte, n)
+		peer := 1 - c.Rank()
+		start := c.Wtime()
+		for i := 0; i < iters; i++ {
+			r, err := c.Irecv(peer, 0, buf)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if err := c.Send(peer, 0, data); err != nil {
+					return err
+				}
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+			} else {
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+				if err := c.Send(peer, 0, data); err != nil {
+					return err
+				}
+			}
+		}
+		rtt = (c.Wtime() - start) / time.Duration(iters)
+		return nil
+	})
+	return float64(rtt) / 1e3, err
+}
+
+// rmaPutSizes/rmaRendezvousSizes are the swept transfer sizes; the largest
+// rendezvous size is the one the gate's RTR floor applies to.
+func rmaPutSizes(full bool) []int {
+	if full {
+		return []int{1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	return []int{1 << 10, 64 << 10, 1 << 20}
+}
+
+func rmaRendezvousSizes(full bool) []int {
+	if full {
+		return []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	}
+	return []int{256 << 10, 1 << 20}
+}
+
+// rmaNativeBackends lists the backends whose transports implement
+// core.RemoteMemory, i.e. where Put is a genuine one-sided transfer.
+var rmaNativeBackends = []string{"mem", "meiko/lowlatency", "cluster/shm"}
+
+// RMABench runs the one-sided sweep and the rendezvous ablation.
+func RMABench(o Opts) (RMAReport, error) {
+	o = o.Norm()
+	rep := RMAReport{Iters: o.Iters}
+	for _, name := range rmaNativeBackends {
+		for _, n := range rmaPutSizes(o.Full) {
+			spec := registry.SpecFor(name)
+			spec.Ranks = 2
+			w, err := registry.Build(spec)
+			if err != nil {
+				return rep, fmt.Errorf("rma %s: %v", name, err)
+			}
+			us, err := rmaPutEpoch(w, n, o.Iters)
+			if err != nil {
+				return rep, fmt.Errorf("rma %s %dB: %v", name, n, err)
+			}
+			rep.Puts = append(rep.Puts, RMAPutPoint{Backend: name, Bytes: n, EpochUS: us})
+		}
+	}
+	for _, tr := range []string{"tcp", "udp"} {
+		for _, n := range rmaRendezvousSizes(o.Full) {
+			point := RMARendezvousPoint{Backend: "cluster/" + tr, Bytes: n}
+			for _, noRTR := range []bool{false, true} {
+				spec := registry.Spec{Platform: "cluster", Transport: tr, Ranks: 2, NoRTR: noRTR}
+				w, err := registry.Build(spec)
+				if err != nil {
+					return rep, fmt.Errorf("rendezvous %s: %v", point.Backend, err)
+				}
+				us, err := prePostedPingPong(w, n, o.Iters)
+				if err != nil {
+					return rep, fmt.Errorf("rendezvous %s %dB: %v", point.Backend, n, err)
+				}
+				if noRTR {
+					point.TwoSidedUS = us
+				} else {
+					point.RTRUS = us
+				}
+			}
+			if point.RTRUS > 0 {
+				point.Speedup = point.TwoSidedUS / point.RTRUS
+			}
+			rep.Rendezvous = append(rep.Rendezvous, point)
+		}
+	}
+	return rep, nil
+}
+
+// FormatRMA renders the report as the text tables the CLI prints.
+func FormatRMA(r RMAReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "One-sided communication (%d iters)\n", r.Iters)
+	fmt.Fprintf(&b, "  %-20s %10s %14s\n", "backend", "bytes", "Put+Fence us")
+	for _, p := range r.Puts {
+		fmt.Fprintf(&b, "  %-20s %10d %14.1f\n", p.Backend, p.Bytes, p.EpochUS)
+	}
+	fmt.Fprintf(&b, "\nRDMA-write rendezvous vs RTS/CTS (pre-posted ping-pong)\n")
+	fmt.Fprintf(&b, "  %-20s %10s %12s %12s %9s\n", "backend", "bytes", "rtr us", "rts/cts us", "speedup")
+	for _, p := range r.Rendezvous {
+		fmt.Fprintf(&b, "  %-20s %10d %12.1f %12.1f %8.2fx\n", p.Backend, p.Bytes, p.RTRUS, p.TwoSidedUS, p.Speedup)
+	}
+	return b.String()
+}
+
+// rmaGateBytes is the transfer size from which the RDMA-write rendezvous
+// must beat the two-sided path on every cluster socket transport — the
+// acceptance bar for skipping the CTS round trip.
+const rmaGateBytes = 1 << 20
+
+// CheckRMA compares a fresh report against the committed baseline and
+// returns the list of regressions (empty means the gate passes). The
+// static floor applies with or without a baseline: every rendezvous point
+// at or above rmaGateBytes must show speedup > 1. Against a baseline, a
+// speedup regression beyond tol fails; Put epochs are virtual time and
+// must not regress beyond tol either.
+func CheckRMA(cur RMAReport, base *RMAReport, tol float64) []string {
+	var fails []string
+	gated := 0
+	for _, p := range cur.Rendezvous {
+		if p.Bytes >= rmaGateBytes {
+			gated++
+			if p.Speedup <= 1.0 {
+				fails = append(fails, fmt.Sprintf("%s %dB: rendezvous speedup %.3fx, want >1 (RTR must beat RTS/CTS)", p.Backend, p.Bytes, p.Speedup))
+			}
+		}
+	}
+	if gated == 0 {
+		fails = append(fails, fmt.Sprintf("no rendezvous point at >=%d bytes; the RTR gate did not run", rmaGateBytes))
+	}
+	if base == nil {
+		return fails
+	}
+	curRv := map[string]RMARendezvousPoint{}
+	for _, p := range cur.Rendezvous {
+		curRv[fmt.Sprintf("%s/%d", p.Backend, p.Bytes)] = p
+	}
+	for _, bp := range base.Rendezvous {
+		key := fmt.Sprintf("%s/%d", bp.Backend, bp.Bytes)
+		p, ok := curRv[key]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("rendezvous point %s dropped from report", key))
+			continue
+		}
+		if p.Speedup < bp.Speedup*(1-tol) {
+			fails = append(fails, fmt.Sprintf("%s speedup %.2fx regressed >%.0f%% from baseline %.2fx", key, p.Speedup, tol*100, bp.Speedup))
+		}
+	}
+	curPut := map[string]float64{}
+	for _, p := range cur.Puts {
+		curPut[fmt.Sprintf("%s/%d", p.Backend, p.Bytes)] = p.EpochUS
+	}
+	for _, bp := range base.Puts {
+		key := fmt.Sprintf("%s/%d", bp.Backend, bp.Bytes)
+		us, ok := curPut[key]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("put point %s dropped from report", key))
+			continue
+		}
+		if us > bp.EpochUS*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s Put+Fence %.1fus regressed >%.0f%% from baseline %.1fus", key, us, tol*100, bp.EpochUS))
+		}
+	}
+	return fails
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r RMAReport) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalRMA parses a BENCH_rma.json baseline.
+func UnmarshalRMA(data []byte) (RMAReport, error) {
+	var r RMAReport
+	err := json.Unmarshal(data, &r)
+	return r, err
+}

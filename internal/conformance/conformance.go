@@ -8,6 +8,7 @@
 package conformance
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -56,6 +57,7 @@ func Scenarios() []Scenario {
 		{"threshold-straddle-pingpong", 2, thresholdStraddle},
 		{"communicators", 4, communicators},
 		{"persistent-ring", 4, persistentRing},
+		{"rma-window-epochs", 4, rmaWindow},
 	}
 }
 
@@ -402,6 +404,119 @@ func communicators(c *mpi.Comm, seed int64) error {
 		return fmt.Errorf("half allreduce = %v, size %d", sum[0], half.Size())
 	}
 	return c.Barrier()
+}
+
+// rmaWindow drives the MPI-2 one-sided API through three fence epochs on
+// every backend flavor — native remote memory and the deferred-at-fence
+// emulation alike: a ring halo exchange via Put (rendezvous-sized, so the
+// cluster's pre-posted RDMA-write path engages inside the emulated fence),
+// an Accumulate reduction into rank 0's counter, and a fenced Get
+// read-back of the result from every rank.
+func rmaWindow(c *mpi.Comm, seed int64) error {
+	n := c.Size()
+	me := c.Rank()
+	const cell = 20_000 // past every eager threshold (180 and 16 KB)
+	// Layout: [left halo cell | right halo cell | 8-byte counter].
+	win, err := c.WinCreate(2*cell + 8)
+	if err != nil {
+		return err
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+
+	// Epoch 1: halo exchange. My pattern lands in the right neighbor's
+	// left halo and the left neighbor's right halo.
+	outR := make([]byte, cell)
+	fill(outR, me, right, 0)
+	if err := win.Put(right, 0, outR); err != nil {
+		return err
+	}
+	outL := make([]byte, cell)
+	fill(outL, me, left, 1)
+	if err := win.Put(left, cell, outL); err != nil {
+		return err
+	}
+	if err := win.Fence(); err != nil {
+		return err
+	}
+	if err := check(win.Bytes()[:cell], left, me, 0); err != nil {
+		return fmt.Errorf("left halo: %w", err)
+	}
+	if err := check(win.Bytes()[cell:2*cell], right, me, 1); err != nil {
+		return fmt.Errorf("right halo: %w", err)
+	}
+
+	// Epoch 2: commutative reduction — every rank adds rank+1 into rank
+	// 0's counter.
+	var inc [8]byte
+	binary.LittleEndian.PutUint64(inc[:], uint64(me+1))
+	if err := win.Accumulate(0, 2*cell, inc[:], mpi.AccSumInt64); err != nil {
+		return err
+	}
+	if err := win.Fence(); err != nil {
+		return err
+	}
+	want := uint64(n * (n + 1) / 2)
+	if me == 0 {
+		if got := binary.LittleEndian.Uint64(win.Bytes()[2*cell:]); got != want {
+			return fmt.Errorf("counter after accumulate epoch = %d, want %d", got, want)
+		}
+	}
+
+	// Epoch 3: every rank reads the counter back with Get.
+	var back [8]byte
+	if err := win.Get(0, 2*cell, back[:]); err != nil {
+		return err
+	}
+	if err := win.Fence(); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint64(back[:]); got != want {
+		return fmt.Errorf("rank %d read counter %d, want %d", me, got, want)
+	}
+	return win.Free()
+}
+
+// PassiveLock exercises passive-target synchronization on backends with
+// native remote memory: every rank adds its contribution to rank 0's
+// counter under an exclusive lock (Unlock guarantees remote completion),
+// then reads the total back under a shared lock. Emulated windows reject
+// Lock with a typed error, so this scenario is not part of Scenarios().
+func PassiveLock(c *mpi.Comm, seed int64) error {
+	n := c.Size()
+	me := c.Rank()
+	win, err := c.WinCreate(8)
+	if err != nil {
+		return err
+	}
+	if err := win.Lock(0, true); err != nil {
+		return err
+	}
+	var inc [8]byte
+	binary.LittleEndian.PutUint64(inc[:], uint64(me+1))
+	if err := win.Accumulate(0, 0, inc[:], mpi.AccSumInt64); err != nil {
+		return err
+	}
+	if err := win.Unlock(0); err != nil {
+		return err
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if err := win.Lock(0, false); err != nil {
+		return err
+	}
+	var back [8]byte
+	if err := win.Get(0, 0, back[:]); err != nil {
+		return err
+	}
+	if err := win.Unlock(0); err != nil {
+		return err
+	}
+	if got, want := binary.LittleEndian.Uint64(back[:]), uint64(n*(n+1)/2); got != want {
+		return fmt.Errorf("rank %d read counter %d under shared lock, want %d", me, got, want)
+	}
+	return win.Free()
 }
 
 // persistentRing drives persistent send/recv requests around a ring.

@@ -91,6 +91,35 @@ func TestFaultsRejectedOffCluster(t *testing.T) {
 	}
 }
 
+// Fault injection now composes with the sharded kernel (per-link RNG
+// streams): the lossy suite must pass with ranks spread across lanes, and
+// stay internally deterministic.
+func TestShardedLossyConformance(t *testing.T) {
+	spec := registry.Spec{Platform: "cluster", Transport: "udp", LossRate: 0.01, FaultSeed: 42, Lanes: 2}
+	if err := Run(factory(t, spec), seeds[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Passive-target locks exist only on backends with native remote memory;
+// every such backend must serialize exclusive epochs correctly. The
+// socket transports reject Lock with a typed error instead.
+func TestRMALockPassive(t *testing.T) {
+	for _, name := range []string{"mem", "meiko/lowlatency", "cluster/shm"} {
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			f := factory(t, registry.SpecFor(name))
+			if _, err := mpi.Launch(f(4), func(c *mpi.Comm) error { return PassiveLock(c, seeds[0]) }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	f := factory(t, registry.SpecFor("cluster/tcp"))
+	_, err := mpi.Launch(f(2), func(c *mpi.Comm) error { return PassiveLock(c, seeds[0]) })
+	if err == nil || !strings.Contains(err.Error(), "passive-target lock") {
+		t.Fatalf("emulated window must reject Lock with the typed error, got %v", err)
+	}
+}
+
 // Tight flow control: tiny credit reservations force heavy queuing; the
 // suite must still pass (ordering preserved through the flow layer's
 // pending queues).
@@ -189,8 +218,9 @@ func TestSoak(t *testing.T) {
 // shardedSpecs lists one spec per backend family the sharded kernel must
 // reproduce bit-identically: the mem reference, both Meiko implementations
 // plus the staged fat tree (whose switch stages home on lane 0), and all
-// three cluster transports (the shared Ethernet segment likewise a lane-0
-// stage; the ATM switch routes between lanes).
+// four cluster transports (the shared Ethernet segment likewise a lane-0
+// stage; the ATM switch routes between lanes; the shm segment's
+// visibility latency is its own lookahead bound).
 var shardedSpecs = []registry.Spec{
 	{Platform: "mem", Credit: 4096},
 	{Platform: "meiko"},
@@ -199,6 +229,7 @@ var shardedSpecs = []registry.Spec{
 	{Platform: "cluster"},
 	{Platform: "cluster", Transport: "udp"},
 	{Platform: "cluster", Transport: "unet"},
+	{Platform: "cluster", Transport: "shm"},
 }
 
 func shardedName(s registry.Spec) string {

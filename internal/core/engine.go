@@ -38,6 +38,10 @@ type Engine struct {
 	seq     map[int]uint64 // per-destination envelope sequence
 	pending map[int64]*Request
 
+	// wins holds the registered one-sided windows by id (see window.go);
+	// lazily allocated by WinCreate.
+	wins map[int]*WinState
+
 	// Receive-path recycling: pool feeds self-send bounce buffers (and is
 	// available to the transport), inFree recycles unexpected-queue nodes,
 	// and scratch carries a matched-on-arrival message through
@@ -279,6 +283,14 @@ func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, er
 		e.freeInMsg(msg)
 	} else {
 		e.acct.SetMax("match.posted-max", int64(e.match.PostedLen()))
+		// Nothing matched on post: a rendezvous-sized receive with a fully
+		// specific pattern is advertised back to its sender so a matching
+		// send can skip the RTS/CTS round trip and write the payload
+		// directly (the RDMA-write rendezvous; see RecvAdvertiser).
+		if ra, ok := e.tr.(RecvAdvertiser); ok &&
+			src != AnySource && src != e.rank && tag != AnyTag && len(buf) > e.tr.MaxEager() {
+			ra.AdvertiseRecv(p, req)
+		}
 	}
 	return req, nil
 }
@@ -434,6 +446,12 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 			}
 		}
 		e.finishRecvData(req, pkt.Env)
+	case PktRMALock:
+		e.winLockMsg(p, pkt.Env)
+	case PktRMAUnlock:
+		e.winUnlockMsg(p, pkt.Env)
+	case PktRMAGrant:
+		e.winGrantMsg(pkt.Env)
 	default:
 		e.Errors = append(e.Errors, Errorf(ErrInternal, "unexpected packet kind %v", pkt.Kind))
 	}

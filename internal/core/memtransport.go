@@ -264,3 +264,53 @@ func (t *MemTransport) Poll(p *sim.Proc) *Packet {
 
 // Pending implements Transport.
 func (t *MemTransport) Pending() bool { return t.inPos < len(t.inbox) }
+
+// ------------------------------------------------------------ RemoteMemory --
+//
+// The fabric's one-sided operations are the executable specification of
+// the RemoteMemory contract: a store crosses the fabric at the flat
+// latency, applies directly to the target window in delivery context
+// (never touching the target's matcher or inbox), and the completion ack
+// crosses back before done fires on the origin lane. Payloads are
+// snapshotted on the origin lane so cross-lane transfers never share
+// mutable storage between lanes.
+
+var _ RemoteMemory = (*MemTransport)(nil)
+
+// RMAPut implements RemoteMemory.
+func (t *MemTransport) RMAPut(p *sim.Proc, dst, win, off int, data []byte, done func()) {
+	snap := make([]byte, len(data))
+	copy(snap, data)
+	home := t.fab.laneFor(t.rank)
+	t.s.RouteAfter(t.fab.laneFor(dst), t.fab.Latency, func() {
+		peer := t.fab.eps[dst]
+		peer.eng.Win(win).ApplyPut(off, snap)
+		peer.s.RouteAfter(home, t.fab.Latency, done)
+	})
+}
+
+// RMAGet implements RemoteMemory.
+func (t *MemTransport) RMAGet(p *sim.Proc, dst, win, off int, buf []byte, done func()) {
+	home := t.fab.laneFor(t.rank)
+	t.s.RouteAfter(t.fab.laneFor(dst), t.fab.Latency, func() {
+		peer := t.fab.eps[dst]
+		snap := make([]byte, len(buf))
+		peer.eng.Win(win).ReadInto(off, snap)
+		peer.s.RouteAfter(home, t.fab.Latency, func() {
+			copy(buf, snap)
+			done()
+		})
+	})
+}
+
+// RMAAccumulate implements RemoteMemory.
+func (t *MemTransport) RMAAccumulate(p *sim.Proc, dst, win, off int, data []byte, op RMAOp, done func()) {
+	snap := make([]byte, len(data))
+	copy(snap, data)
+	home := t.fab.laneFor(t.rank)
+	t.s.RouteAfter(t.fab.laneFor(dst), t.fab.Latency, func() {
+		peer := t.fab.eps[dst]
+		peer.eng.Win(win).ApplyAccumulate(off, snap, op)
+		peer.s.RouteAfter(home, t.fab.Latency, done)
+	})
+}

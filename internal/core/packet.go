@@ -25,6 +25,21 @@ const (
 	// PktCredit returns freed bounce space to a sender (cluster transport;
 	// usually piggybacked, explicit when traffic is one-sided).
 	PktCredit
+	// PktRTR (ready-to-receive) advertises a freshly posted rendezvous-sized
+	// receive back to its prospective sender — the RDMA-write rendezvous
+	// fast path (MPICH2/InfiniBand style): the sender may then write the
+	// payload directly into the posted buffer, skipping the RTS/CTS round
+	// trip. Transports that implement RecvAdvertiser consume it internally;
+	// it never surfaces to the engine.
+	PktRTR
+	// PktRMALock requests a passive-target window lock (Env.Tag carries the
+	// window id; Env.Count is 1 for exclusive, 0 for shared).
+	PktRMALock
+	// PktRMAUnlock releases a passive-target window lock.
+	PktRMAUnlock
+	// PktRMAGrant notifies a waiting origin that its lock request was
+	// granted (Env.Source is the target rank, Env.Tag the window id).
+	PktRMAGrant
 )
 
 func (k PacketKind) String() string {
@@ -41,6 +56,14 @@ func (k PacketKind) String() string {
 		return "syncack"
 	case PktCredit:
 		return "credit"
+	case PktRTR:
+		return "rtr"
+	case PktRMALock:
+		return "rma-lock"
+	case PktRMAUnlock:
+		return "rma-unlock"
+	case PktRMAGrant:
+		return "rma-grant"
 	default:
 		return "unknown"
 	}

@@ -19,6 +19,13 @@ import (
 // offset rides in the tag field (Data packets need no user tag).
 const HeaderBytes = core.HeaderWireBytes // 25
 
+// The kind rides in a 4-bit field: one more kind past 15 would bleed into
+// the mode nibble and corrupt every frame. The one-sided protocol grew the
+// space (RTR adverts, lock/unlock/grant control), so guard the bound at
+// compile time — this declaration fails to build if the highest kind ever
+// exceeds the nibble.
+var _ [15 - int(core.PktRMAGrant)]struct{}
+
 // EncodeHeader serializes one protocol header.
 func EncodeHeader(kind core.PacketKind, credit int, env core.Envelope, aux uint32) [HeaderBytes]byte {
 	var h [HeaderBytes]byte

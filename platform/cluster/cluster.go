@@ -36,6 +36,11 @@ const (
 	// kernel-bypass future work the paper's related-work section points
 	// at. ATM only.
 	UNET
+	// SHM carries MPI over a coherent shared-memory segment mapped by all
+	// hosts (the CXL-style attached-memory analogue of the Meiko's
+	// remote-store hardware): direct stores, no kernel, no frames — and
+	// native one-sided remote memory.
+	SHM
 )
 
 func (k TransportKind) String() string {
@@ -44,6 +49,8 @@ func (k TransportKind) String() string {
 		return "tcp"
 	case UDP:
 		return "udp"
+	case SHM:
+		return "shm"
 	default:
 		return "unet"
 	}
@@ -56,9 +63,12 @@ type Config struct {
 	Network   atm.MediumKind // OverATM or OverEthernet
 	// Lanes > 1 builds the world on the sharded kernel: hosts block-mapped
 	// onto that many lanes, the ATM switch hop routing between them, the
-	// shared Ethernet homed on lane 0 as a stage, and SwitchDelay as the
-	// lookahead bound. Incompatible with fault injection (the injector's
-	// RNG stream is world-global).
+	// shared Ethernet homed on lane 0 as a stage, and SwitchDelay (the
+	// segment latency for SHM) as the lookahead bound. Fault injection
+	// composes with lanes: each (src, dst) link draws from its own
+	// seed-derived RNG stream, so lossy sweeps shard too — single-lane
+	// lossy runs stay bit-identical to earlier releases via the legacy
+	// world-global stream.
 	Lanes int
 	// Eager is the eager/rendezvous crossover in bytes (0 = DefaultEager).
 	Eager int
@@ -87,7 +97,11 @@ type Config struct {
 	// acks wait this long for reverse data to piggyback them (0 = ack
 	// immediately, the paper's measured configuration).
 	RUDPAckDelay sim.Duration
-	Seed         int64
+	// NoRTR disables the RDMA-write rendezvous (pre-posted receive
+	// advertisements), pinning large transfers to the two-sided RTS/CTS
+	// protocol. For the rendezvous ablation.
+	NoRTR bool
+	Seed  int64
 }
 
 // DefaultEager is the cluster crossover: socket round trips cost ~1 ms, so
@@ -122,17 +136,22 @@ func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 		sh     *sim.Shard
 		laneOf []int
 	)
+	if faults != nil && cfg.Transport == SHM {
+		return nil, nil, fmt.Errorf("cluster/shm: fault injection is not supported (a memory segment has no lossy wire)")
+	}
 	if cfg.Lanes > 1 {
-		if faults != nil {
-			return nil, nil, fmt.Errorf("cluster: fault injection requires the single-lane kernel (Lanes=%d set)", cfg.Lanes)
-		}
 		lanes := cfg.Lanes
 		if lanes > cfg.Hosts {
 			lanes = cfg.Hosts
 		}
-		// One lane per host block; the switch forwarding delay is the
-		// minimum cross-lane stage latency and thus the lookahead bound.
-		sh = sim.NewShard(cfg.Seed+1, lanes, costs.SwitchDelay)
+		// One lane per host block; the minimum cross-lane latency — the
+		// switch forwarding delay, or the segment visibility latency on
+		// shm — is the lookahead bound.
+		lookahead := costs.SwitchDelay
+		if cfg.Transport == SHM {
+			lookahead = costs.ShmLatency
+		}
+		sh = sim.NewShard(cfg.Seed+1, lanes, lookahead)
 		sh.MaxEvents = 500_000_000
 		laneOf = make([]int, cfg.Hosts)
 		for i := range laneOf {
@@ -159,39 +178,50 @@ func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 	}
 
 	n := cfg.Hosts
-	trs := make([]*transport, n)
 	eps := make([]core.Endpoint, n)
-	for i := 0; i < n; i++ {
-		eng := core.NewEngine(cl.SchedOf(i), i, n, clusterEngineCosts(), nil)
-		trs[i] = newTransport(cl, eng, i, n, eager, credit, cfg.Transport, cfg.Network, trs)
-		eng.SetTransport(trs[i])
-		eps[i] = eng
-	}
-	// Static all-pairs TCP mesh, as in the paper's setup.
-	if cfg.Transport == TCP {
+	if cfg.Transport == SHM {
+		shms := make([]*shmTransport, n)
 		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				a, b := cl.TCPPair(i, j, cfg.Network)
-				if cfg.TCPNagle {
-					a.Nagle, a.DelayedAck = true, true
-					b.Nagle, b.DelayedAck = true, true
-				}
-				trs[i].attachConn(j, a)
-				trs[j].attachConn(i, b)
-			}
-		}
-	} else if cfg.Transport == UDP {
-		for i := 0; i < n; i++ {
-			r := atm.NewRUDP(cl.UDPSocket(i, cfg.Network))
-			if cfg.RUDPMaxRetries > 0 {
-				r.MaxRetries = cfg.RUDPMaxRetries
-			}
-			r.AckDelay = cfg.RUDPAckDelay
-			trs[i].attachDgram(r)
+			eng := core.NewEngine(cl.SchedOf(i), i, n, shmEngineCosts(), nil)
+			shms[i] = newShmTransport(cl, eng, i, eager, shms)
+			eng.SetTransport(shms[i])
+			eps[i] = eng
 		}
 	} else {
+		trs := make([]*transport, n)
 		for i := 0; i < n; i++ {
-			trs[i].attachDgram(unetLink{cl.UNetSocket(i)})
+			eng := core.NewEngine(cl.SchedOf(i), i, n, clusterEngineCosts(), nil)
+			trs[i] = newTransport(cl, eng, i, n, eager, credit, cfg.Transport, cfg.Network, trs)
+			trs[i].noRTR = cfg.NoRTR
+			eng.SetTransport(trs[i])
+			eps[i] = eng
+		}
+		// Static all-pairs TCP mesh, as in the paper's setup.
+		if cfg.Transport == TCP {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					a, b := cl.TCPPair(i, j, cfg.Network)
+					if cfg.TCPNagle {
+						a.Nagle, a.DelayedAck = true, true
+						b.Nagle, b.DelayedAck = true, true
+					}
+					trs[i].attachConn(j, a)
+					trs[j].attachConn(i, b)
+				}
+			}
+		} else if cfg.Transport == UDP {
+			for i := 0; i < n; i++ {
+				r := atm.NewRUDP(cl.UDPSocket(i, cfg.Network))
+				if cfg.RUDPMaxRetries > 0 {
+					r.MaxRetries = cfg.RUDPMaxRetries
+				}
+				r.AckDelay = cfg.RUDPAckDelay
+				trs[i].attachDgram(r)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				trs[i].attachDgram(unetLink{cl.UNetSocket(i)})
+			}
 		}
 	}
 

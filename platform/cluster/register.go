@@ -28,6 +28,7 @@ func init() {
 	register("cluster/tcp", TCP)
 	register("cluster/udp", UDP)
 	register("cluster/unet", UNET)
+	register("cluster/shm", SHM)
 }
 
 // specConfig maps the platform-neutral job spec onto this platform's
@@ -40,6 +41,7 @@ func specConfig(s registry.Spec) (Config, error) {
 		CreditBytes: s.Credit,
 		Bcast:       s.Bcast,
 		TCPNagle:    s.TCPNagle,
+		NoRTR:       s.NoRTR,
 		Seed:        s.Seed,
 	}
 	if s.HasFaults() {

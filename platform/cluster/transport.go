@@ -54,6 +54,12 @@ type transport struct {
 	rndvSend   map[int64]*core.Request // sender requests awaiting CTS
 	rndvRecv   map[uint32]*rndvRecvSt  // receiver handle -> landing state
 	nextHandle uint32
+	// RDMA-write rendezvous (MPICH2/InfiniBand style): advertisements of
+	// pre-posted rendezvous receives, by destination rank, consumed by the
+	// first matching standard/buffered rendezvous send. noRTR pins the
+	// two-sided RTS/CTS protocol (the ablation's baseline).
+	rtrQ  map[int][]rtrAd
+	noRTR bool
 	// In-progress inbound Data frames, per source (TCP only): the payload
 	// read consumes only what the kernel buffer holds and resumes on later
 	// polls, so a receiver never parks mid-frame holding unsent bytes of
@@ -71,6 +77,22 @@ type rndvRecvSt struct {
 	got   int           // payload bytes landed so far (UDP chunking)
 	want  int           // bytes that fit the posted buffer
 	total int           // full message size announced by the RTS
+
+	// RDMA-write rendezvous state: an advertised pre-posted receive must be
+	// claimed from the matcher when its direct payload starts arriving. If
+	// the claim fails (the receive matched an earlier message meanwhile),
+	// the payload accumulates in bounce and re-enters through the matcher
+	// as an eager arrival, in its exact stream position.
+	rtr     bool
+	started bool
+	claimed bool
+	bounce  []byte
+}
+
+// rtrAd is one sender-side record of a peer's pre-posted receive.
+type rtrAd struct {
+	env core.Envelope // Source = advertising rank; Count = buffer capacity
+	aux uint32        // the receiver's landing handle
 }
 
 // tcpData tracks one partially-read rendezvous payload on a TCP stream.
@@ -98,6 +120,7 @@ func newTransport(cl *atm.Cluster, eng *core.Engine, rank, size, eager, credit i
 		owed:     flow.NewOwed(size, credit/4),
 		rndvSend: make(map[int64]*core.Request),
 		rndvRecv: make(map[uint32]*rndvRecvSt),
+		rtrQ:     make(map[int][]rtrAd),
 		inData:   make([]*tcpData, size),
 		pool:     eng.Pool(),
 	}
@@ -202,6 +225,13 @@ func (t *transport) fail(err error) {
 // rendezvous envelope or eager header+payload.
 func (t *transport) transmit(p *sim.Proc, req *core.Request) {
 	if req.Env.Count > t.max {
+		if ad, ok := t.takeRTR(req); ok {
+			// The receiver advertised a matching pre-posted buffer: write
+			// the payload directly, skipping the RTS/CTS round trip.
+			t.eng.Acct().Incr("rndv-rtr", 1)
+			t.sendDirect(p, req, ad.aux)
+			return
+		}
 		// Rendezvous: envelope only; the payload moves on CTS.
 		t.rndvSend[req.Env.SendID] = req
 		t.eng.Acct().Incr("rndv", 1)
@@ -282,6 +312,138 @@ func (t *transport) SendPayload(p *sim.Proc, req *core.Request, pkt *core.Packet
 		}
 	}
 	t.eng.SendDone(req)
+}
+
+// --------------------------------------------------- RDMA-write rendezvous --
+//
+// The socket transports have no remote-memory primitive, but they can
+// still eliminate the rendezvous matching round trip the way MPICH2 does
+// on InfiniBand: when a rendezvous-sized receive is posted before its
+// message with a specific source and tag, the receiver advertises the
+// buffer (PktRTR, credit-exempt) and the sender's first matching
+// standard/buffered rendezvous send writes its payload directly — one
+// traversal instead of three.
+//
+// The advertisement is purely an optimization, never a promise: the
+// receive stays posted in the matcher, so an earlier in-flight message
+// can still match it. The direct payload therefore *claims* the receive
+// when it starts arriving; if the claim fails the bytes detour through a
+// bounce buffer and re-enter the matcher as an eager arrival in their
+// exact stream position, which preserves MPI's per-pair matching order
+// (all frames of the direct payload precede any later frame from that
+// sender on the same ordered channel).
+
+// AdvertiseRecv implements core.RecvAdvertiser: register a landing handle
+// for the pre-posted receive and tell the prospective sender about it.
+func (t *transport) AdvertiseRecv(p *sim.Proc, req *core.Request) {
+	if t.noRTR {
+		return
+	}
+	t.nextHandle++
+	h := t.nextHandle
+	// st.env is the status envelope should the direct payload land: the
+	// posted signature with count/mode filled in from the first chunk.
+	t.rndvRecv[h] = &rndvRecvSt{
+		req:  req,
+		env:  core.Envelope{Source: req.Env.Source, Tag: req.Env.Tag, Context: req.Env.Context},
+		want: len(req.Buf),
+		rtr:  true,
+	}
+	// The frame's envelope names this rank as source (it is the frame's
+	// sender) and carries the posted signature plus buffer capacity.
+	ad := core.Envelope{Source: t.rank, Tag: req.Env.Tag, Context: req.Env.Context, Count: len(req.Buf)}
+	t.eng.Acct().Incr("rtr-post", 1)
+	t.writeFrame(p, req.Env.Source, core.PktRTR, ad, h, nil)
+}
+
+// takeRTR consumes the first advertisement matching a rendezvous send.
+// Synchronous sends keep the RTS/CTS path (their ack rides the CTS), and
+// ready sends assert the receive exists anyway; an advertisement whose
+// capacity is short of the message falls back too, keeping truncation on
+// the one code path that handles it.
+func (t *transport) takeRTR(req *core.Request) (rtrAd, bool) {
+	if t.noRTR || (req.Env.Mode != core.ModeStandard && req.Env.Mode != core.ModeBuffered) {
+		return rtrAd{}, false
+	}
+	q := t.rtrQ[req.Env.Dest]
+	for i, ad := range q {
+		if ad.env.Context == req.Env.Context && ad.env.Tag == req.Env.Tag && ad.env.Count >= req.Env.Count {
+			t.rtrQ[req.Env.Dest] = append(q[:i:i], q[i+1:]...)
+			return ad, true
+		}
+	}
+	return rtrAd{}, false
+}
+
+// sendDirect writes a rendezvous payload straight to an advertised
+// buffer: a Data frame with no preceding RTS/CTS exchange. Direct data
+// is credit-exempt, like the CTS-clocked payload it replaces.
+func (t *transport) sendDirect(p *sim.Proc, req *core.Request, aux uint32) {
+	dst := req.Env.Dest
+	data := req.Buf
+	if t.kind == TCP {
+		// Same interleaving discipline as SendPayload: drain inbound frames
+		// whenever the peer's window closes, so symmetric large exchanges
+		// cannot deadlock.
+		frame := t.pool.Get(headerBytes + len(data))
+		flow.EncodeHeaderInto(frame, core.PktData, t.owed.Take(dst), req.Env, aux)
+		copy(frame[headerBytes:], data)
+		t.conns[dst].WriteInterleaved(p, frame, func() {
+			if !t.parseAvailable(p) {
+				t.creditCond.Wait(p)
+			}
+		})
+		t.pool.Put(frame)
+		t.eng.SendDone(req)
+		return
+	}
+	// Datagram modes: chunked like the CTS path, the offset in the tag
+	// field — plus the full message size in the id field, since no RTS
+	// ever announced it to the receiver.
+	maxChunk := t.dgram.MaxDatagram() - headerBytes
+	for off := 0; off < len(data) || off == 0; off += maxChunk {
+		end := off + maxChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		env := req.Env
+		env.Tag = off
+		env.Count = end - off
+		env.SendID = int64(len(data))
+		t.writeFrame(p, dst, core.PktData, env, aux, data[off:end])
+		if end == len(data) {
+			break
+		}
+	}
+	t.eng.SendDone(req)
+}
+
+// startRTR begins the landing of a direct payload: fix the total from the
+// first frame and claim the advertised receive from the matcher. A failed
+// claim switches the landing to a bounce buffer for re-injection.
+func (t *transport) startRTR(st *rndvRecvSt, total int, mode core.Mode) {
+	st.started = true
+	st.total = total
+	if st.want > total {
+		st.want = total
+	}
+	st.env.Count = total
+	st.env.Mode = mode
+	if t.eng.ClaimDirect(st.req) {
+		st.claimed = true
+		return
+	}
+	st.bounce = make([]byte, total)
+	t.eng.Acct().Incr("rtr-stale", 1)
+}
+
+// finishRTRFallback surfaces a bounced direct payload as an eager
+// arrival. The engine's eager path will Release reservation that was
+// never consumed (direct data is credit-exempt), slightly inflating the
+// pair's credit; the drift is bounded by the stale-claim count and only
+// ever loosens flow control, so we accept it for this rare race.
+func (t *transport) finishRTRFallback(st *rndvRecvSt) {
+	t.inbox = append(t.inbox, &core.Packet{Kind: core.PktEager, Env: st.env, Data: st.bounce})
 }
 
 // Control implements core.Transport (synchronous-mode acks).
@@ -424,9 +586,16 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 			t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "rendezvous data for unknown handle %d", aux))
 			return
 		}
+		if st.rtr && !st.started {
+			// Direct payload for an advertised receive: the frame carries
+			// the full send envelope, so the total is its count.
+			t.startRTR(st, env.Count, env.Mode)
+		}
 		d := &tcpData{st: st, aux: aux, env: env}
 		t.inData[src] = d
 		t.readData(p, src, conn, d)
+	case core.PktRTR:
+		t.rtrQ[env.Source] = append(t.rtrQ[env.Source], rtrAd{env: env, aux: aux})
 	case core.PktSyncAck:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
 	case core.PktCredit:
@@ -444,6 +613,13 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
 	acct := t.eng.Acct()
 	st := d.st
+	// A stale-claimed direct payload lands in the bounce buffer (sized to
+	// the full message, so it never truncates); everything else lands in
+	// the posted buffer up to its capacity.
+	landBuf, landMax := st.req.Buf, st.want
+	if st.bounce != nil {
+		landBuf, landMax = st.bounce, st.total
+	}
 	for st.got < st.total {
 		n := conn.Buffered()
 		if n == 0 {
@@ -453,12 +629,12 @@ func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
 			n = rem
 		}
 		t2 := p.Now()
-		if st.got < st.want {
+		if st.got < landMax {
 			end := st.got + n
-			if end > st.want {
-				end = st.want
+			if end > landMax {
+				end = landMax
 			}
-			conn.ReadFull(p, st.req.Buf[st.got:end])
+			conn.ReadFull(p, landBuf[st.got:end])
 			if rest := n - (end - st.got); rest > 0 {
 				// The receive buffer was short: drain and discard the excess.
 				junk := t.pool.Get(rest)
@@ -475,6 +651,10 @@ func (t *transport) readData(p *sim.Proc, src int, conn *atm.TCP, d *tcpData) {
 	}
 	t.inData[src] = nil
 	delete(t.rndvRecv, d.aux)
+	if st.bounce != nil {
+		t.finishRTRFallback(st)
+		return
+	}
 	t.inbox = append(t.inbox, &core.Packet{Kind: core.PktData, Env: d.env, ReqID: st.req.ID})
 }
 
@@ -513,8 +693,15 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 			t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "rendezvous data for unknown handle %d", aux))
 			return true
 		}
+		if st.rtr && !st.started {
+			// Direct payload for an advertised receive: no RTS announced
+			// the size, so the total rides the chunk's id field.
+			t.startRTR(st, int(env.SendID), env.Mode)
+		}
 		off := env.Tag // chunk offset rides in the tag field
-		if off < st.want {
+		if st.bounce != nil {
+			copy(st.bounce[off:off+len(payload)], payload)
+		} else if off < st.want {
 			end := off + len(payload)
 			if end > st.want {
 				end = st.want
@@ -524,8 +711,14 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 		st.got += len(payload)
 		if st.got >= st.total {
 			delete(t.rndvRecv, aux)
-			t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: st.env, ReqID: st.req.ID})
+			if st.bounce != nil {
+				t.finishRTRFallback(st)
+			} else {
+				t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: st.env, ReqID: st.req.ID})
+			}
 		}
+	case core.PktRTR:
+		t.rtrQ[env.Source] = append(t.rtrQ[env.Source], rtrAd{env: env, aux: aux})
 	case core.PktSyncAck:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
 	case core.PktCredit:

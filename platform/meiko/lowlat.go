@@ -237,6 +237,92 @@ func (t *lowlatTransport) Poll(p *sim.Proc) *core.Packet {
 // Pending implements core.Transport.
 func (t *lowlatTransport) Pending() bool { return len(t.inbox) > 0 }
 
+// ------------------------------------------------------------ RemoteMemory --
+//
+// One-sided operations map straight onto the Elan primitives the paper's
+// §4 device exposes: a small put is one remote transaction into the
+// target's registered region, a large put is a sender-Elan DMA, and in
+// both cases the target's Elan — never its SPARC — applies the bytes and
+// fires the completion acknowledgement back, so the target process does
+// not need to be inside an MPI call for the transfer to complete.
+
+// rmaTxnHdrBytes is the one-sided header riding each RMA transaction or
+// DMA announcement: window id, offset, and length.
+const rmaTxnHdrBytes = 16
+
+var _ core.RemoteMemory = (*lowlatTransport)(nil)
+
+// rmaSnap snapshots an origin payload on the origin lane. Remote applies
+// run in the target lane's event context, concurrent (same epoch) with
+// origin-lane events, so the transfer must never share mutable storage
+// across lanes; same-lane transfers keep the copy too — it is the modeled
+// Elan's copy of the data leaving host memory.
+func rmaSnap(data []byte) []byte {
+	snap := make([]byte, len(data))
+	copy(snap, data)
+	return snap
+}
+
+// rmaApply lands a put or accumulate at the target (target lane event
+// context) and acks back to the origin through the target Elan
+// (elanIssued: no SPARC wakeup), firing done on the origin lane.
+func (t *lowlatTransport) rmaApply(dst, win, off int, data []byte, op core.RMAOp, done func()) func() {
+	me := t.eng.Rank()
+	peer := t.all[dst]
+	return func() {
+		peer.eng.Win(win).ApplyAccumulate(off, data, op)
+		peer.node.Txn(me, ctrlTxnBytes, true, done)
+	}
+}
+
+// RMAPut implements core.RemoteMemory: small payloads ride one remote
+// transaction, large ones a sender-Elan DMA.
+func (t *lowlatTransport) RMAPut(p *sim.Proc, dst, win, off int, data []byte, done func()) {
+	c := t.m.Costs
+	snap := rmaSnap(data)
+	apply := t.rmaApply(dst, win, off, snap, core.RMAReplace, done)
+	if len(snap) <= t.max {
+		t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+		t.node.Txn(dst, rmaTxnHdrBytes+len(snap), false, apply)
+		return
+	}
+	t.eng.Acct().Charge(p, core.CostProtocol, c.DMAIssue)
+	t.node.DMA(dst, rmaTxnHdrBytes+len(snap), func() {}, apply)
+}
+
+// RMAAccumulate implements core.RemoteMemory: like a put, but the target
+// Elan's handler combines instead of stores.
+func (t *lowlatTransport) RMAAccumulate(p *sim.Proc, dst, win, off int, data []byte, op core.RMAOp, done func()) {
+	c := t.m.Costs
+	snap := rmaSnap(data)
+	apply := t.rmaApply(dst, win, off, snap, op, done)
+	if len(snap) <= t.max {
+		t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+		t.node.Txn(dst, rmaTxnHdrBytes+len(snap), false, apply)
+		return
+	}
+	t.eng.Acct().Charge(p, core.CostProtocol, c.DMAIssue)
+	t.node.DMA(dst, rmaTxnHdrBytes+len(snap), func() {}, apply)
+}
+
+// RMAGet implements core.RemoteMemory: a request transaction reaches the
+// target's Elan, which reads the region and DMAs the bytes back; the
+// landing event on the origin lane fills buf and completes the operation.
+func (t *lowlatTransport) RMAGet(p *sim.Proc, dst, win, off int, buf []byte, done func()) {
+	c := t.m.Costs
+	me := t.eng.Rank()
+	peer := t.all[dst]
+	t.eng.Acct().Charge(p, core.CostProtocol, c.TxnIssue)
+	t.node.Txn(dst, rmaTxnHdrBytes, false, func() {
+		snap := make([]byte, len(buf))
+		peer.eng.Win(win).ReadInto(off, snap)
+		peer.node.DMA(me, rmaTxnHdrBytes+len(snap), func() {}, func() {
+			copy(buf, snap)
+			done()
+		})
+	})
+}
+
 // LowLatEndpoint is the low-latency engine plus the CS/2 hardware
 // broadcast.
 type LowLatEndpoint struct {

@@ -34,7 +34,7 @@ import (
 type Spec struct {
 	Platform  string // "meiko" | "cluster" | "mem"
 	Impl      string // meiko implementation: "lowlatency" | "mpich" ("" = lowlatency)
-	Transport string // cluster transport: "tcp" | "udp" | "unet" ("" = tcp)
+	Transport string // cluster transport: "tcp" | "udp" | "unet" | "shm" ("" = tcp)
 	Network   string // cluster network: "atm" | "eth" ("" = atm)
 	Ranks     int
 	Lanes     int   // sharded-kernel lanes (0/1 = single-lane kernel)
@@ -49,6 +49,7 @@ type Spec struct {
 	Bcast         mpi.BcastAlg // broadcast algorithm override (BcastAuto = platform default)
 	LossRate      float64      // cluster: datagram loss probability per frame
 	TCPNagle      bool         // cluster: leave Nagle/delayed acks on (no TCP_NODELAY)
+	NoRTR         bool         // cluster: disable the RDMA-write rendezvous (pin RTS/CTS)
 	FatTree       bool         // meiko: staged fat-tree congestion model
 	EnvelopeSlots int          // meiko: per-pair envelope slots (0 = the paper's 1)
 
@@ -150,13 +151,6 @@ func Build(s Spec) (*mpi.World, error) {
 	}
 	if s.HasFaults() && s.Platform != "cluster" {
 		return nil, fmt.Errorf("backend %q: fault injection (loss/delay/reorder/partition) exists only on the cluster platform", s.Key())
-	}
-	if s.Lanes > 1 && s.HasFaults() {
-		// The fault injector draws from one world-global RNG stream and
-		// mutates shared policy state on every admit, so its decisions
-		// would depend on cross-lane execution order. Fault sweeps run on
-		// the single-lane kernel.
-		return nil, fmt.Errorf("backend %q: fault injection requires the single-lane kernel (the injector's RNG stream is world-global); drop Lanes or the fault knobs", s.Key())
 	}
 	w, err := b(s)
 	if err != nil {

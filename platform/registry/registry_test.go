@@ -15,7 +15,7 @@ import (
 // backend extends this list and is picked up by the conformance matrix
 // automatically.
 var wantBackends = []string{
-	"cluster/tcp", "cluster/udp", "cluster/unet",
+	"cluster/shm", "cluster/tcp", "cluster/udp", "cluster/unet",
 	"meiko/lowlatency", "meiko/mpich",
 	"mem",
 }
@@ -80,9 +80,10 @@ func TestBuildRejectsBadSpecs(t *testing.T) {
 	}
 }
 
-// Every backend accepts the sharded kernel, but its two remaining
-// restrictions — no fault injection across lanes, no parallel execution
-// without lanes — must fail loudly rather than degrade silently.
+// Every backend accepts the sharded kernel — including fault injection
+// across lanes, now that the injector draws per-link RNG streams — and the
+// one remaining restriction (no parallel execution without lanes) must
+// fail loudly rather than degrade silently.
 func TestBuildShardedKernel(t *testing.T) {
 	for _, name := range registry.Names() {
 		spec := registry.SpecFor(name)
@@ -91,9 +92,11 @@ func TestBuildShardedKernel(t *testing.T) {
 			t.Errorf("backend %q rejected Lanes=2: %v", name, err)
 		}
 	}
-	_, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Lanes: 2, LossRate: 0.01})
-	if err == nil || !strings.Contains(err.Error(), "single-lane") {
-		t.Errorf("faults with lanes must name the single-lane kernel, got %v", err)
+	if _, err := registry.Build(registry.Spec{Platform: "cluster", Ranks: 2, Lanes: 2, LossRate: 0.01}); err != nil {
+		t.Errorf("faults must compose with lanes (per-link RNG streams), got %v", err)
+	}
+	if _, err := registry.Build(registry.Spec{Platform: "cluster", Transport: "shm", Ranks: 2, LossRate: 0.01}); err == nil || !strings.Contains(err.Error(), "lossy wire") {
+		t.Errorf("shm with faults must be rejected, got %v", err)
 	}
 	if _, err := registry.Build(registry.Spec{Platform: "mem", Ranks: 2, Parallel: true}); err == nil {
 		t.Error("Parallel without lanes must fail")
