@@ -9,13 +9,21 @@
 // resolve through registry.Run, whose typed errors list the registered
 // backends (or algorithms, for -coll) on a typo instead of silently
 // falling back to a default.
+//
+// Exit codes under fault injection (-kill): 0 means the job completed
+// with its full membership, 2 means members died but the survivors
+// recovered (revoke + shrink) and completed, and 1 means the job failed —
+// a death the application did not survive, or any other error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/mpi"
@@ -26,7 +34,7 @@ import (
 )
 
 // appNames lists the launchable applications, for validation and usage.
-var appNames = []string{"linsolve", "matmul", "particles", "samplesort"}
+var appNames = []string{"linsolve", "matmul", "particles", "samplesort", "ftshrink"}
 
 func main() {
 	log.SetFlags(0)
@@ -51,6 +59,8 @@ func main() {
 	partition := flag.String("partition", "", `cluster: partition schedule, e.g. "0-1@5ms:20ms;2-*" (A-B[@FROM:UNTIL], * = any host)`)
 	faultseed := flag.Int64("faultseed", 0, "cluster: fault-injection RNG seed (0 = derive from -seed)")
 	nortr := flag.Bool("nortr", false, "cluster: disable the RDMA-write rendezvous (pin large sends to RTS/CTS)")
+	kill := flag.String("kill", "", `process-death schedule, e.g. "2@5ms;3@8ms" (RANK@T; any backend)`)
+	treefault := flag.String("treefault", "", `meiko: switch-plane outage schedule, e.g. "1:0@5ms-20ms" (STAGE:LANE@FROM[-UNTIL]; implies -fattree)`)
 	flag.Parse()
 
 	validApp := false
@@ -84,12 +94,23 @@ func main() {
 		Partition:  *partition,
 		FaultSeed:  *faultseed,
 		NoRTR:      *nortr,
+		Kills:      *kill,
+		TreeFaults: *treefault,
 	}
 
 	secPerFlop := apps.MeikoSecPerFlop
 	if *platform == "cluster" {
 		secPerFlop = apps.SGISecPerFlop
 	}
+
+	// Survival bookkeeping for the exit-code contract: bodies run as
+	// concurrent procs, so the tallies take a lock (the parallel kernel
+	// really does run them on multiple OS threads).
+	var (
+		ftMu     sync.Mutex
+		ftDied   int
+		ftShrunk int
+	)
 
 	body := func(c *mpi.Comm) error {
 		switch *app {
@@ -144,6 +165,23 @@ func main() {
 			if c.Rank() == 0 {
 				fmt.Printf("samplesort N=%d: %.1fus virtual, rank0 holds %d keys\n", size, float64(res.Elapsed)/1e3, len(res.Sorted))
 			}
+		case "ftshrink":
+			res, err := apps.FTShrink(c, apps.FTShrinkConfig{Compute: 100 * time.Microsecond})
+			if err != nil {
+				return err
+			}
+			ftMu.Lock()
+			if res.Died {
+				ftDied++
+			}
+			if res.Shrunk {
+				ftShrunk++
+			}
+			ftMu.Unlock()
+			if !res.Died && res.NewRank == 0 {
+				fmt.Printf("ftshrink: sum %d over %d survivors (shrunk=%v), %.1fus virtual\n",
+					res.Sum, res.Survivors, res.Shrunk, float64(res.Elapsed.Nanoseconds())/1e3)
+			}
 		}
 		return nil
 	}
@@ -152,8 +190,14 @@ func main() {
 	if err != nil {
 		// registry.Build's typed errors carry the registered backend and
 		// algorithm listings, so a typo prints them instead of a usage dump.
+		// A death the application did not survive lands here too: the
+		// victim's (or a stuck survivor's) body error is world-fatal.
 		log.Fatalf("mpirun: %v", err)
 	}
 	fmt.Printf("job: %d ranks on %s, finished at virtual t=%v (%d sends, %d receives)\n",
 		*np, spec.Key(), rep.MaxRankElapsed, rep.Acct.Count["send"], rep.Acct.Count["recv"])
+	if ftDied > 0 {
+		fmt.Printf("faults: %d rank(s) killed, %d survivor(s) recovered by shrink\n", ftDied, ftShrunk)
+		os.Exit(2) // survived-with-shrink: degraded success, not failure
+	}
 }

@@ -33,6 +33,7 @@ func main() {
 	matchbench := flag.Bool("matchbench", false, "run the receive-matching microbenchmarks (indexed vs linear, allocation profile)")
 	rma := flag.Bool("rma", false, "run the one-sided (RMA) sweep and the RDMA-write rendezvous ablation")
 	scale := flag.Bool("scale", false, "run the kernel scale sweep (sharded vs single-lane, 64-4096 ranks; 16384 with -full)")
+	chaos := flag.Bool("chaos", false, "sweep kill schedules x loss over every kill-capable backend and lane count")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
@@ -46,6 +47,8 @@ func main() {
 	rmaBaseline := flag.String("rmabaseline", "", "with -rma: compare against this committed baseline and exit nonzero on regression (the RTR>RTS/CTS floor applies regardless)")
 	scaleJSONPath := flag.String("scalejson", "BENCH_scale.json", "with -scale: write the machine-readable record here (\"\" disables)")
 	scaleBaseline := flag.String("scalebaseline", "", "with -scale: compare against this committed baseline and exit nonzero on >10% events/sec regression or any allocs/op increase")
+	chaosJSONPath := flag.String("chaosjson", "BENCH_chaos.json", "with -chaos: write the machine-readable record here (\"\" disables)")
+	chaosBaseline := flag.String("chaosbaseline", "", "with -chaos: compare against this committed baseline and exit nonzero on lost survival or >10% latency regression (the 100%-survival floor for single-failure schedules applies regardless)")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -88,8 +91,9 @@ func main() {
 		*matchbench = true
 		*rma = true
 		*scale = true
+		*chaos = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*rma && !*scale {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*rma && !*scale && !*chaos {
 		flag.Usage()
 		return
 	}
@@ -297,6 +301,42 @@ func main() {
 		if fails := bench.CheckScale(rep, base, 0.10); len(fails) > 0 {
 			for _, f := range fails {
 				log.Printf("scale regression: %s", f)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *chaos {
+		var base *bench.ChaosReport
+		if *chaosBaseline != "" {
+			data, err := os.ReadFile(*chaosBaseline)
+			if err != nil {
+				log.Fatalf("chaos baseline: %v", err)
+			}
+			b, err := bench.UnmarshalChaos(data)
+			if err != nil {
+				log.Fatalf("chaos baseline: %v", err)
+			}
+			base = &b
+		}
+		rep, err := bench.Chaos(o)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		fmt.Println(bench.FormatChaos(rep))
+		if *chaosJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("chaos json: %v", err)
+			}
+			if err := os.WriteFile(*chaosJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *chaosJSONPath)
+		}
+		if fails := bench.CheckChaos(rep, base, 0.10); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("chaos gate: %s", f)
 			}
 			os.Exit(1)
 		}

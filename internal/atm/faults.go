@@ -397,6 +397,51 @@ func ParsePartitions(spec string) ([]Partition, error) {
 	return out, nil
 }
 
+// Kill schedules the death of one rank's process at a virtual time — the
+// process-failure analogue of a Partition. Unlike the other fault knobs it
+// is not a property of any medium: the registry hands the schedule to
+// mpi.World.ScheduleKills, which arranges the victim's failure and every
+// survivor's detection as simulated-time events on each rank's own lane,
+// so injection works identically on every backend and costs zero wire
+// traffic.
+type Kill struct {
+	Rank int
+	At   sim.Duration
+}
+
+// ParseKills parses a kill schedule DSL: semicolon-separated entries of
+// the form "RANK@T", where RANK is the victim and T is a Go duration since
+// run start.
+//
+//	"2@5ms"        rank 2 dies 5 ms in
+//	"1@1ms;3@2ms"  two deaths
+func ParseKills(spec string) ([]Kill, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Kill
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		rankStr, atStr, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("kill %q: want RANK@T", entry)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("kill %q: bad rank %q", entry, rankStr)
+		}
+		at, err := parseDur(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("kill %q: %v", entry, err)
+		}
+		out = append(out, Kill{Rank: rank, At: at})
+	}
+	return out, nil
+}
+
 func parseHost(s string) (int, error) {
 	s = strings.TrimSpace(s)
 	if s == "*" {

@@ -56,6 +56,7 @@ type RUDP struct {
 	AckDelay sim.Duration
 
 	peers     map[int]*rudpPeer
+	dead      map[int]bool // peers fenced by DropPeer: sends are swallowed
 	delivered []Datagram
 	arrival   *sim.Cond
 	watchers  []func()
@@ -254,8 +255,33 @@ func (r *RUDP) peer(h int) *rudpPeer {
 	return p
 }
 
+// DropPeer fences a dead peer: outstanding frames toward it are abandoned
+// (their retransmission timers observe them acked and die) and every
+// future send to it is swallowed. Without the fence, a single process
+// failure would escalate into MaxRetries link death for the survivor —
+// the corpse can never acknowledge anything.
+func (r *RUDP) DropPeer(host int) {
+	if r.dead == nil {
+		r.dead = make(map[int]bool)
+	}
+	r.dead[host] = true
+	pr, ok := r.peers[host]
+	if !ok {
+		return
+	}
+	for s, pend := range pr.unacked {
+		pend.acked = true
+		delete(pr.unacked, s)
+	}
+	pr.dupAcks = 0
+	r.arrival.Broadcast()
+}
+
 // Send reliably transmits data to host dst, blocking on the send window.
 func (r *RUDP) Send(p *sim.Proc, dst int, data []byte) error {
+	if r.dead[dst] {
+		return nil // fenced by DropPeer: swallowed, nothing to wait for
+	}
 	pr := r.peer(dst)
 	for len(pr.unacked) >= r.Window {
 		r.drain(p)
@@ -414,6 +440,9 @@ func (r *RUDP) drain(p *sim.Proc) {
 // overhead story), or — with AckDelay — lazily, hoping an outbound data
 // frame will piggyback it first.
 func (r *RUDP) scheduleAck(p *sim.Proc, pr *rudpPeer) {
+	if r.dead[pr.host] {
+		return // no point acknowledging toward a fenced corpse
+	}
 	if r.AckDelay == 0 {
 		r.sendAck(p, pr.host, pr.nextRecv)
 		return

@@ -46,6 +46,7 @@ type TCP struct {
 	// AckDelay is the delayed-ack timer (0 = the classic 200 ms).
 	AckDelay sim.Duration
 
+	dropped  bool   // fenced by Drop: the peer is dead, writes are discarded
 	unacked  int    // bytes sent, not yet acknowledged
 	nagleQ   []byte // coalesced sub-MSS data awaiting an ack
 	owedAck  int    // window bytes not yet returned to the peer
@@ -93,7 +94,25 @@ func (c *TCP) Write(p *sim.Proc, data []byte) {
 	}
 }
 
+// Drop fences the connection against a dead peer: segments written from
+// now on are discarded instead of transmitted (the corpse will never read
+// them), send credit is pinned open (it will never return window updates
+// either), and writers parked on window space are released. Without the
+// fence a single dead peer would park every survivor that still owes it a
+// frame on a window that can never reopen.
+func (c *TCP) Drop() {
+	c.dropped = true
+	c.sndCredit = DefaultTCPBuffer
+	c.sndWait.Broadcast()
+	for _, fn := range c.wwatchers {
+		fn()
+	}
+}
+
 func (c *TCP) writeSegment(p *sim.Proc, seg []byte) {
+	if c.dropped {
+		return // fenced: the bytes would go to a dead peer
+	}
 	if c.Nagle && c.unacked > 0 && len(c.nagleQ)+len(seg) < c.MSS() {
 		// Hold sub-MSS data while anything is in flight (RFC 896).
 		c.nagleQ = append(c.nagleQ, seg...)
@@ -108,6 +127,9 @@ func (c *TCP) writeSegment(p *sim.Proc, seg []byte) {
 	k := c.cl.Costs
 	for c.sndCredit < len(seg) {
 		c.sndWait.Wait(p)
+	}
+	if c.dropped {
+		return // the peer died while we were parked on its window
 	}
 	c.sndCredit -= len(seg)
 	c.unacked += len(seg)

@@ -38,6 +38,19 @@ type RMARendezvousPoint struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// RMAFencePoint is one emulated Put+Fence epoch on a socket transport,
+// where one-sided operations deflate to matched messages inside the
+// closing fence. RTRPerEpoch counts the rendezvous transfers that rode
+// the receiver-ready RDMA-write fast path per epoch: a bulk fence must
+// keep it above zero, proving the exchange pre-posts its receives rather
+// than round-tripping RTS/CTS.
+type RMAFencePoint struct {
+	Backend     string  `json:"backend"`
+	Bytes       int     `json:"bytes"`
+	EpochUS     float64 `json:"epoch_us"`
+	RTRPerEpoch float64 `json:"rtr_per_epoch"`
+}
+
 // RMAReport is the machine-readable record cmd/repro writes as
 // BENCH_rma.json. The committed copy is the baseline CI gates against
 // (see CheckRMA).
@@ -45,6 +58,7 @@ type RMAReport struct {
 	Iters      int                  `json:"iters"`
 	Puts       []RMAPutPoint        `json:"puts"`
 	Rendezvous []RMARendezvousPoint `json:"rendezvous"`
+	Fences     []RMAFencePoint      `json:"fences"`
 }
 
 // rmaPutEpoch measures one rank Putting n bytes into its neighbor's window
@@ -75,6 +89,45 @@ func rmaPutEpoch(w *mpi.World, n, iters int) (float64, error) {
 		return win.Free()
 	})
 	return float64(per) / 1e3, err
+}
+
+// rmaFenceEpoch measures the deferred-at-fence emulation on a world
+// without native RMA: rank 0 Puts n bytes into rank 1's window each
+// epoch, and the closing fence carries the blob. Reports the mean epoch
+// time and how many rendezvous transfers took the RTR fast path per
+// epoch (from the merged rndv-rtr counter).
+func rmaFenceEpoch(w *mpi.World, n, iters int) (float64, float64, error) {
+	var per time.Duration
+	rep, err := mpi.Launch(w, func(c *mpi.Comm) error {
+		win, err := c.WinCreate(n)
+		if err != nil {
+			return err
+		}
+		if win.Native() {
+			return fmt.Errorf("fence bench wants the emulated path, got native RMA")
+		}
+		data := make([]byte, n)
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		start := c.Wtime()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				if err := win.Put(1, 0, data); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+		}
+		per = (c.Wtime() - start) / time.Duration(iters)
+		return win.Free()
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(per) / 1e3, float64(rep.Acct.Count["rndv-rtr"]) / float64(iters), nil
 }
 
 // prePostedPingPong measures an n-byte ping-pong where both sides post
@@ -134,6 +187,15 @@ func rmaRendezvousSizes(full bool) []int {
 	return []int{256 << 10, 1 << 20}
 }
 
+// rmaFenceSizes are the emulated-fence sweep sizes; everything at or
+// above the gate size must ride the RTR fast path.
+func rmaFenceSizes(full bool) []int {
+	if full {
+		return []int{4 << 10, 256 << 10, 1 << 20}
+	}
+	return []int{256 << 10}
+}
+
 // rmaNativeBackends lists the backends whose transports implement
 // core.RemoteMemory, i.e. where Put is a genuine one-sided transfer.
 var rmaNativeBackends = []string{"mem", "meiko/lowlatency", "cluster/shm"}
@@ -182,6 +244,22 @@ func RMABench(o Opts) (RMAReport, error) {
 			rep.Rendezvous = append(rep.Rendezvous, point)
 		}
 	}
+	for _, tr := range []string{"tcp", "udp"} {
+		for _, n := range rmaFenceSizes(o.Full) {
+			spec := registry.Spec{Platform: "cluster", Transport: tr, Ranks: 2}
+			w, err := registry.Build(spec)
+			if err != nil {
+				return rep, fmt.Errorf("fence %s: %v", tr, err)
+			}
+			us, rtr, err := rmaFenceEpoch(w, n, o.Iters)
+			if err != nil {
+				return rep, fmt.Errorf("fence cluster/%s %dB: %v", tr, n, err)
+			}
+			rep.Fences = append(rep.Fences, RMAFencePoint{
+				Backend: "cluster/" + tr, Bytes: n, EpochUS: us, RTRPerEpoch: rtr,
+			})
+		}
+	}
 	return rep, nil
 }
 
@@ -197,6 +275,13 @@ func FormatRMA(r RMAReport) string {
 	fmt.Fprintf(&b, "  %-20s %10s %12s %12s %9s\n", "backend", "bytes", "rtr us", "rts/cts us", "speedup")
 	for _, p := range r.Rendezvous {
 		fmt.Fprintf(&b, "  %-20s %10d %12.1f %12.1f %8.2fx\n", p.Backend, p.Bytes, p.RTRUS, p.TwoSidedUS, p.Speedup)
+	}
+	if len(r.Fences) > 0 {
+		fmt.Fprintf(&b, "\nEmulated Put+Fence over matched sends (rendezvous fast-path usage)\n")
+		fmt.Fprintf(&b, "  %-20s %10s %12s %14s\n", "backend", "bytes", "epoch us", "rtr/epoch")
+		for _, p := range r.Fences {
+			fmt.Fprintf(&b, "  %-20s %10d %12.1f %14.1f\n", p.Backend, p.Bytes, p.EpochUS, p.RTRPerEpoch)
+		}
 	}
 	return b.String()
 }
@@ -225,6 +310,14 @@ func CheckRMA(cur RMAReport, base *RMAReport, tol float64) []string {
 	}
 	if gated == 0 {
 		fails = append(fails, fmt.Sprintf("no rendezvous point at >=%d bytes; the RTR gate did not run", rmaGateBytes))
+	}
+	// Bulk emulated fences must prove they rode the fast path: the blob
+	// exchange pre-posts receives under a barrier exactly so that no RTS
+	// finds an unmatched queue.
+	for _, p := range cur.Fences {
+		if p.Bytes >= 64<<10 && p.RTRPerEpoch <= 0 {
+			fails = append(fails, fmt.Sprintf("%s %dB: emulated fence took the RTR fast path %.1f times/epoch, want >0", p.Backend, p.Bytes, p.RTRPerEpoch))
+		}
 	}
 	if base == nil {
 		return fails
@@ -257,6 +350,21 @@ func CheckRMA(cur RMAReport, base *RMAReport, tol float64) []string {
 		}
 		if us > bp.EpochUS*(1+tol) {
 			fails = append(fails, fmt.Sprintf("%s Put+Fence %.1fus regressed >%.0f%% from baseline %.1fus", key, us, tol*100, bp.EpochUS))
+		}
+	}
+	curFence := map[string]RMAFencePoint{}
+	for _, p := range cur.Fences {
+		curFence[fmt.Sprintf("%s/%d", p.Backend, p.Bytes)] = p
+	}
+	for _, bp := range base.Fences {
+		key := fmt.Sprintf("%s/%d", bp.Backend, bp.Bytes)
+		p, ok := curFence[key]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("fence point %s dropped from report", key))
+			continue
+		}
+		if p.EpochUS > bp.EpochUS*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s emulated fence %.1fus regressed >%.0f%% from baseline %.1fus", key, p.EpochUS, tol*100, bp.EpochUS))
 		}
 	}
 	return fails

@@ -11,7 +11,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"time"
 
+	"repro/internal/apps"
 	"repro/mpi"
 )
 
@@ -517,6 +519,56 @@ func PassiveLock(c *mpi.Comm, seed int64) error {
 		return fmt.Errorf("rank %d read counter %d under shared lock, want %d", me, got, want)
 	}
 	return win.Free()
+}
+
+// The ft-shrink-allreduce scenario's fixed geometry: the world must be
+// built with FTShrinkRanks ranks and a kill schedule of FTShrinkKills,
+// which removes FTShrinkVictim during its pre-collective compute phase so
+// the survivors park inside the allreduce when the death lands.
+const (
+	FTShrinkRanks  = 4
+	FTShrinkVictim = 2
+	FTShrinkKills  = "2@50us"
+)
+
+// FTShrinkAllreduce is the fault-tolerance scenario: one rank dies
+// mid-allreduce, and every survivor must observe the failure (ErrPeerDown
+// or a peer's revoke), run Revoke → Agree → Shrink, and complete the
+// reduction on the shrunken communicator with exactly the survivors'
+// contributions. It is not part of Scenarios() because it needs a kill
+// schedule in the world spec — build the factory with Kills set to
+// FTShrinkKills — and because the Meiko MPICH endpoint (by design)
+// rejects kill schedules.
+func FTShrinkAllreduce(c *mpi.Comm, seed int64) error {
+	res, err := apps.FTShrink(c, apps.FTShrinkConfig{Compute: 100 * time.Microsecond})
+	if err != nil {
+		return err
+	}
+	if res.Died {
+		if c.Rank() != FTShrinkVictim {
+			return fmt.Errorf("rank %d died; only rank %d is scheduled to", c.Rank(), FTShrinkVictim)
+		}
+		return nil
+	}
+	if c.Rank() == FTShrinkVictim {
+		return fmt.Errorf("victim rank %d survived its kill", FTShrinkVictim)
+	}
+	if !res.Shrunk {
+		return fmt.Errorf("rank %d completed without shrinking — the kill never interrupted the collective", c.Rank())
+	}
+	if res.Survivors != FTShrinkRanks-1 {
+		return fmt.Errorf("rank %d shrank to %d ranks, want %d", c.Rank(), res.Survivors, FTShrinkRanks-1)
+	}
+	want := int64(0)
+	for r := 0; r < FTShrinkRanks; r++ {
+		if r != FTShrinkVictim {
+			want += int64(r) + 1
+		}
+	}
+	if res.Sum != want {
+		return fmt.Errorf("rank %d: shrunken allreduce = %d, want %d", c.Rank(), res.Sum, want)
+	}
+	return nil
 }
 
 // persistentRing drives persistent send/recv requests around a ring.

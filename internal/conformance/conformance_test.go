@@ -215,6 +215,103 @@ func TestSoak(t *testing.T) {
 	}
 }
 
+// ftSpecs lists every backend that supports kill schedules (all but the
+// Meiko MPICH endpoint, which rejects them by design). The last entry
+// runs the recovery under 1% injected packet loss with a pinned fault
+// seed: detection, revoke, agree, and shrink must all complete over a
+// lossy wire, reproducibly.
+var ftSpecs = []registry.Spec{
+	{Platform: "mem"},
+	{Platform: "meiko"},
+	{Platform: "cluster"},
+	{Platform: "cluster", Transport: "udp"},
+	{Platform: "cluster", Transport: "unet"},
+	{Platform: "cluster", Transport: "shm"},
+	{Platform: "cluster", Transport: "udp", LossRate: 0.01, FaultSeed: 42},
+}
+
+func ftName(s registry.Spec) string {
+	name := strings.ReplaceAll(s.Key(), "/", "_")
+	if s.LossRate > 0 {
+		name += "_lossy"
+	}
+	return name
+}
+
+// TestFTShrinkAllreduce sweeps the ft-shrink-allreduce scenario over
+// every kill-capable backend and all three kernels. Each run must
+// recover (checked inside the scenario body), each (backend, kernel)
+// pair must be bit-identical across two runs, and — faults being
+// simulated-time events, not wall-clock ones — the survivor timeline
+// must match exactly between the single-lane, sharded, and parallel
+// kernels. The lossy spec is exempt from the cross-kernel comparison
+// only: the sharded kernel draws losses from per-link RNG streams, a
+// different (but internally deterministic) drop schedule.
+func TestFTShrinkAllreduce(t *testing.T) {
+	kernels := []struct {
+		name     string
+		lanes    int
+		parallel bool
+	}{{"single", 0, false}, {"sharded", 2, false}, {"parallel", 8, true}}
+	for _, base := range ftSpecs {
+		base := base
+		t.Run(ftName(base), func(t *testing.T) {
+			var ref []int64
+			for ki, k := range kernels {
+				elapsed := make([][]int64, 2)
+				for round := 0; round < 2; round++ {
+					spec := base
+					spec.Ranks = FTShrinkRanks
+					spec.Kills = FTShrinkKills
+					spec.Lanes, spec.Parallel = k.lanes, k.parallel
+					w, err := registry.Build(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := mpi.Launch(w, func(c *mpi.Comm) error { return FTShrinkAllreduce(c, seeds[0]) })
+					if err != nil {
+						t.Fatalf("%s round %d: %v", k.name, round, err)
+					}
+					elapsed[round] = make([]int64, len(rep.RankElapsed))
+					for r, d := range rep.RankElapsed {
+						elapsed[round][r] = int64(d)
+					}
+				}
+				for r := range elapsed[0] {
+					if elapsed[0][r] != elapsed[1][r] {
+						t.Errorf("%s rank %d: nondeterministic recovery (%dns vs %dns)", k.name, r, elapsed[0][r], elapsed[1][r])
+					}
+				}
+				if ki == 0 {
+					ref = elapsed[0]
+					continue
+				}
+				if base.LossRate > 0 {
+					continue
+				}
+				for r := range ref {
+					if ref[r] != elapsed[0][r] {
+						t.Errorf("rank %d: single %dns, %s %dns — kernels diverge under faults", r, ref[r], k.name, elapsed[0][r])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFTShrinkRejectedOnMPICH pins the capability boundary: the MPICH
+// endpoint models a stack without failure detection, so building a world
+// that schedules kills on it must fail with a typed error, not die at
+// runtime.
+func TestFTShrinkRejectedOnMPICH(t *testing.T) {
+	spec := registry.SpecFor("meiko/mpich")
+	spec.Ranks = FTShrinkRanks
+	spec.Kills = FTShrinkKills
+	if _, err := registry.Build(spec); err == nil {
+		t.Fatal("meiko/mpich accepted a kill schedule it cannot detect")
+	}
+}
+
 // shardedSpecs lists one spec per backend family the sharded kernel must
 // reproduce bit-identically: the mem reference, both Meiko implementations
 // plus the staged fat tree (whose switch stages home on lane 0), and all

@@ -66,6 +66,16 @@ type Engine struct {
 	// operation fails fast instead of parking forever.
 	fatal error
 
+	// Fault-tolerance state (see ft.go): peers declared dead with their
+	// death reasons, in detection order; how many of those deaths the
+	// process has acknowledged (FailureAck); revoked communicator context
+	// ids; and window lock grants deferred out of event context.
+	dead      map[int]error
+	deadOrder []int
+	ackedDead int
+	revoked   map[int]bool
+	defGrants []deferredGrant
+
 	// Trace, when set, receives a timeline event per protocol action.
 	Trace *trace.Log
 }
@@ -130,6 +140,9 @@ func (e *Engine) freeInMsg(m *InMsg) {
 // SetTransport attaches the platform transport; must be called before use.
 func (e *Engine) SetTransport(tr Transport) { e.tr = tr }
 
+// MaxEager reports the transport's eager/rendezvous crossover in bytes.
+func (e *Engine) MaxEager() int { return e.tr.MaxEager() }
+
 // Transport reports the attached transport.
 func (e *Engine) Transport() Transport { return e.tr }
 
@@ -166,6 +179,9 @@ func (e *Engine) Isend(p *sim.Proc, dst, tag, ctx int, mode Mode, data []byte) (
 	}
 	if dst < 0 || dst >= e.size {
 		return nil, Errorf(ErrInternal, "send to invalid rank %d (size %d)", dst, e.size)
+	}
+	if err := e.ftSendCheck(dst, ctx); err != nil {
+		return nil, err
 	}
 	e.nextID++
 	e.seq[dst]++
@@ -261,6 +277,9 @@ func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, er
 	if src != AnySource && (src < 0 || src >= e.size) {
 		return nil, Errorf(ErrInternal, "receive from invalid rank %d (size %d)", src, e.size)
 	}
+	if err := e.ftRecvCheck(src, ctx); err != nil {
+		return nil, err
+	}
 	e.nextID++
 	req := &Request{
 		ID:     e.nextID,
@@ -272,6 +291,11 @@ func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, er
 	// order before this receive is considered (and so a ready-mode send
 	// that already arrived is correctly flagged as unmatched-at-arrival).
 	e.Progress(p)
+	// The drain may have delivered a revoke or death notice; re-check so
+	// the receive cannot post onto a context that just died.
+	if err := e.ftRecvCheck(src, ctx); err != nil {
+		return nil, err
+	}
 	e.pending[req.ID] = req
 	e.acct.Charge(p, CostOverhead, e.costs.RecvOverhead)
 	e.acct.Charge(p, CostMatch, e.costs.Match)
@@ -300,6 +324,7 @@ func (e *Engine) Irecv(p *sim.Proc, src, tag, ctx int, buf []byte) (*Request, er
 // rendezvous messages are accepted so the transport can move the payload.
 func (e *Engine) deliverMatched(p *sim.Proc, msg *InMsg, req *Request) {
 	req.matched = true
+	req.matchedSrc = msg.Env.Source
 	e.trc(trace.Match, msg.Env.Source, msg.Env.Tag, msg.Env.Count, "")
 	if msg.Rndv {
 		e.tr.Accept(p, msg, req)
@@ -361,6 +386,7 @@ func (e *Engine) pollOnce(p *sim.Proc) bool {
 // only inside MPI calls, which is precisely the latency/background-progress
 // trade the paper studies.
 func (e *Engine) Progress(p *sim.Proc) {
+	e.flushDeferredGrants(p)
 	for e.pollOnce(p) {
 	}
 }
@@ -370,6 +396,18 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 	case PktEager:
 		e.acct.Charge(p, CostMatch, e.costs.Match)
 		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "eager")
+		if e.revoked[pkt.Env.Context] {
+			// Stale traffic on a revoked communicator: return the bounce
+			// space (the sender may be alive and reuse the pair's credits on
+			// another communicator) and drop the message.
+			if pkt.Env.Source != e.rank {
+				e.tr.Release(p, pkt.Env.Source, len(pkt.Data))
+			}
+			if pkt.Pool != nil {
+				pkt.Pool.Put(pkt.Data)
+			}
+			return
+		}
 		if req := e.match.Arrive(pkt.Env); req != nil {
 			// Matched on arrival: deliver through the reusable scratch node
 			// so the hot path performs no allocation.
@@ -387,8 +425,14 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 	case PktRTS:
 		e.acct.Charge(p, CostMatch, e.costs.Match)
 		e.trc(trace.Arrive, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rts")
+		if e.revoked[pkt.Env.Context] {
+			// The sender's request was already failed by its own revoke;
+			// drop the announcement instead of matching it.
+			return
+		}
 		if req := e.match.Arrive(pkt.Env); req != nil {
 			req.matched = true
+			req.matchedSrc = pkt.Env.Source
 			e.trc(trace.Match, pkt.Env.Source, pkt.Env.Tag, pkt.Env.Count, "rndv")
 			e.scratch = InMsg{Env: pkt.Env, Rndv: true, Handle: pkt.Handle}
 			e.tr.Accept(p, &e.scratch, req)
@@ -404,7 +448,12 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 	case PktCTS:
 		req := e.pending[pkt.ReqID]
 		if req == nil {
-			e.Errors = append(e.Errors, Errorf(ErrInternal, "CTS for unknown send request %d", pkt.ReqID))
+			// Under fault tolerance a CTS may race a peer death or revoke
+			// that already failed and retired the send; only an unexplained
+			// orphan is a protocol error.
+			if !e.ftActive() {
+				e.Errors = append(e.Errors, Errorf(ErrInternal, "CTS for unknown send request %d", pkt.ReqID))
+			}
 			return
 		}
 		req.acked = true
@@ -431,7 +480,12 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 		// charges land on the receiving proc.
 		req := e.pending[pkt.ReqID]
 		if req == nil {
-			e.Errors = append(e.Errors, Errorf(ErrInternal, "payload for unknown receive request %d", pkt.ReqID))
+			if pkt.Pool != nil && pkt.Data != nil {
+				pkt.Pool.Put(pkt.Data)
+			}
+			if !e.ftActive() {
+				e.Errors = append(e.Errors, Errorf(ErrInternal, "payload for unknown receive request %d", pkt.ReqID))
+			}
 			return
 		}
 		if pkt.Data != nil {
@@ -452,6 +506,8 @@ func (e *Engine) handle(p *sim.Proc, pkt *Packet) {
 		e.winUnlockMsg(p, pkt.Env)
 	case PktRMAGrant:
 		e.winGrantMsg(pkt.Env)
+	case PktRevoke:
+		e.revokeMsg(p, pkt.Env)
 	default:
 		e.Errors = append(e.Errors, Errorf(ErrInternal, "unexpected packet kind %v", pkt.Kind))
 	}
@@ -542,6 +598,12 @@ func (e *Engine) Fatal(err error) {
 		delete(e.pending, id)
 	}
 	e.cond.Broadcast()
+	// Transports park procs on conditions of their own (the CS/2
+	// hardware-broadcast slot wait); give them a chance to wake those so
+	// a killed process fails out instead of sleeping forever.
+	if fn, ok := e.tr.(interface{ FatalWake() }); ok {
+		fn.FatalWake()
+	}
 }
 
 // FatalErr reports the transport-fatal error, if any.
@@ -610,6 +672,9 @@ func (e *Engine) Probe(p *sim.Proc, src, tag, ctx int) (Status, error) {
 		}
 		if e.fatal != nil {
 			return Status{}, e.fatal
+		}
+		if ferr := e.ftRecvCheck(src, ctx); ferr != nil {
+			return Status{}, ferr
 		}
 		if e.tr.Pending() {
 			// An arrival raced in while Iprobe charged time; re-poll

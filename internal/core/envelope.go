@@ -93,6 +93,14 @@ const (
 	// exhaustion): the rank cannot communicate, and every pending and future
 	// operation fails with it.
 	ErrLinkDown
+	// ErrPeerDown is a dead peer process: only operations matched to (or
+	// inevitably matching) that rank fail, the rest of the world survives.
+	// The message names the culprit rank.
+	ErrPeerDown
+	// ErrRevoked is a communicator poisoned by Comm.Revoke: every pending
+	// and future operation on its contexts fails so survivors fall through
+	// to the recovery path instead of hanging.
+	ErrRevoked
 )
 
 // Error is an MPI-level error carrying one of the MPI error classes.

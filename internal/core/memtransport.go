@@ -244,6 +244,15 @@ func (t *MemTransport) Release(p *sim.Proc, src int, n int) {
 	t.deliver(src, &Packet{Kind: PktCredit, Env: Envelope{Dest: t.rank, Count: n}})
 }
 
+// PeerDown implements PeerFencer: drop sends queued toward the dead rank
+// (the engine already failed their requests) and reset its credit account —
+// a corpse never returns credits, so nothing may wait on them.
+func (t *MemTransport) PeerDown(rank int) {
+	delete(t.sendQ, rank)
+	delete(t.avail, rank)
+	t.creditCnd.Broadcast()
+}
+
 // Poll implements Transport. The inbox keeps a consumed-prefix index and
 // recycles its backing array once drained, so steady-state polling neither
 // shifts nor reallocates.

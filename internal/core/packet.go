@@ -40,6 +40,11 @@ const (
 	// PktRMAGrant notifies a waiting origin that its lock request was
 	// granted (Env.Source is the target rank, Env.Tag the window id).
 	PktRMAGrant
+	// PktRevoke is the reliable-broadcast notice that a communicator was
+	// revoked (Env.Context carries the revoked p2p context id). Every engine
+	// re-forwards it on first receipt, so it reaches all survivors even if
+	// the revoker dies mid-broadcast.
+	PktRevoke
 )
 
 func (k PacketKind) String() string {
@@ -64,6 +69,8 @@ func (k PacketKind) String() string {
 		return "rma-unlock"
 	case PktRMAGrant:
 		return "rma-grant"
+	case PktRevoke:
+		return "revoke"
 	default:
 		return "unknown"
 	}

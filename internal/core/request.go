@@ -16,7 +16,8 @@ type Request struct {
 	buffered  bool // Bsend: attached-buffer space is freed on SendDone
 
 	// Recv-side state.
-	matched bool
+	matched    bool
+	matchedSrc int // the source rank this receive matched (valid once matched)
 
 	done   bool
 	status Status
@@ -38,8 +39,14 @@ func (r *Request) Err() error { return r.err }
 // Cancelled reports whether the request was cancelled before matching.
 func (r *Request) Cancelled() bool { return r.cancelled }
 
-// complete marks the request done with the given status.
+// complete marks the request done with the given status. Completion is
+// first-wins: a request failed by peer death or a revoke must not be
+// overwritten by a late transport event (e.g. a rendezvous payload already
+// in flight when the peer died lands after the receive was failed).
 func (r *Request) complete(st Status, err error) {
+	if r.done {
+		return
+	}
 	r.done = true
 	r.status = st
 	r.err = err

@@ -198,6 +198,9 @@ func (e *Engine) rmaStart(p *sim.Proc, dst, id int, counter string) (*WinState, 
 	if dst < 0 || dst >= e.size {
 		return nil, Errorf(ErrInternal, "one-sided op to invalid rank %d (size %d)", dst, e.size)
 	}
+	if err := e.deadErr(dst); err != nil {
+		return nil, err
+	}
 	w, err := e.winFor(id)
 	if err != nil {
 		return nil, err
@@ -266,6 +269,11 @@ func (e *Engine) WinLock(p *sim.Proc, dst, id int, excl bool) error {
 		}
 		if e.fatal != nil {
 			return e.fatal
+		}
+		// The grant can never arrive from a dead target; fail instead of
+		// parking forever.
+		if err := e.deadErr(dst); err != nil {
+			return err
 		}
 		e.cond.Wait(p)
 	}
@@ -338,10 +346,17 @@ func (e *Engine) winRelease(p *sim.Proc, w *WinState, origin int) {
 	}
 }
 
-// winGrant notifies origin that it now holds w's lock.
+// winGrant notifies origin that it now holds w's lock. With a nil proc
+// (event context — a peer death released the lock) the remote grant packet
+// is deferred to the next Progress call, which has a proc to charge.
 func (e *Engine) winGrant(p *sim.Proc, w *WinState, origin int) {
 	if origin == e.rank {
 		w.granted[e.rank] = true
+		e.cond.Broadcast()
+		return
+	}
+	if p == nil {
+		e.defGrants = append(e.defGrants, deferredGrant{win: w.ID, origin: origin})
 		e.cond.Broadcast()
 		return
 	}
@@ -373,5 +388,6 @@ func (e *Engine) ClaimDirect(req *Request) bool {
 		return false
 	}
 	req.matched = true
+	req.matchedSrc = req.Env.Source // RTR requires a fully specific pattern
 	return true
 }

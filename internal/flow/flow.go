@@ -107,6 +107,23 @@ func (q *Queue) Grant(dst, n int, ship func(*core.Request)) {
 	}
 }
 
+// DropDst fences a dead destination: every message queued toward dst is
+// removed (in issue order, handed to the optional drop callback so the
+// owner can fail it) and the destination's capacity is restored to full so
+// nothing ever queues behind a peer that can no longer grant credit back.
+func (q *Queue) DropDst(dst, capacity int, drop func(*core.Request)) {
+	for _, req := range q.pend[dst] {
+		if drop != nil {
+			drop(req)
+		}
+	}
+	q.pend[dst] = nil
+	q.avail[dst] = capacity
+	if q.limit > 0 && q.avail[dst] > q.limit {
+		q.avail[dst] = q.limit
+	}
+}
+
 // Available reports the capacity units currently free toward dst.
 func (q *Queue) Available(dst int) int { return q.avail[dst] }
 

@@ -2,6 +2,9 @@ package meiko
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -26,8 +29,105 @@ type FatTree struct {
 	stages int
 	stage  *sim.Stage      // lane-routable home for the shared switch state
 	down   [][][]*sim.FIFO // down[stage][subtree][lane]
+	faults []TreeFault
 	// HopLatency is the per-switch traversal latency.
 	HopLatency sim.Duration
+}
+
+// TreeFault takes one switch plane out of service for a window of
+// simulated time: every down-link with lane index Lane at stage Stage is
+// unusable from From until Until. The fat tree's redundant upper stages
+// make this survivable — at every stage above the leaves a destination
+// subtree is entered by radix^stage parallel down-links, so traffic
+// reroutes through a neighbouring plane at an extra hop of latency per
+// detour (the adaptive source-routing cost of crossing to the next Elite
+// switch). Stage 0 is deliberately not faultable: a leaf group hangs off a
+// single link, so losing it is a node death, not degradation — model that
+// with a kill schedule instead.
+type TreeFault struct {
+	Stage int          // faulted stage, >= 1 (upper stages have redundant planes)
+	Lane  int          // down-link lane index within each subtree at that stage
+	From  sim.Duration // window start
+	Until sim.Duration // window end; 0 means for the rest of the run
+}
+
+// SetFaults installs the switch-fault schedule, validating it against the
+// tree's geometry.
+func (t *FatTree) SetFaults(faults []TreeFault) error {
+	for _, f := range faults {
+		if f.Stage < 1 || f.Stage >= t.stages {
+			return fmt.Errorf("meiko: tree fault stage %d out of range [1,%d) (stage 0 leaf links have no redundant plane)", f.Stage, t.stages)
+		}
+		if f.Lane < 0 || f.Lane >= pow(t.radix, f.Stage) {
+			return fmt.Errorf("meiko: tree fault lane %d out of range [0,%d) at stage %d", f.Lane, pow(t.radix, f.Stage), f.Stage)
+		}
+		if f.Until != 0 && f.Until <= f.From {
+			return fmt.Errorf("meiko: tree fault window [%v,%v) is empty", f.From, f.Until)
+		}
+	}
+	t.faults = faults
+	return nil
+}
+
+// blockedAt reports whether the (stage, lane) plane is faulted at the
+// instant the route is being reserved.
+func (t *FatTree) blockedAt(stage, lane int, at sim.Time) bool {
+	for _, f := range t.faults {
+		if f.Stage == stage && f.Lane == lane &&
+			sim.Time(f.From) <= at && (f.Until == 0 || at < sim.Time(f.Until)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseTreeFaults parses a switch-fault schedule DSL: semicolon-separated
+// entries of the form "STAGE:LANE@FROM-UNTIL", with UNTIL optional.
+//
+//	"1:0@5ms-20ms"        stage-1 plane 0 down between 5 ms and 20 ms
+//	"1:0@5ms;2:3@0s-1ms"  two faults, the first permanent from 5 ms
+func ParseTreeFaults(spec string) ([]TreeFault, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []TreeFault
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		plane, window, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("tree fault %q: want STAGE:LANE@FROM[-UNTIL]", entry)
+		}
+		stageStr, laneStr, ok := strings.Cut(plane, ":")
+		if !ok {
+			return nil, fmt.Errorf("tree fault %q: want STAGE:LANE before @", entry)
+		}
+		stage, err := strconv.Atoi(strings.TrimSpace(stageStr))
+		if err != nil || stage < 1 {
+			return nil, fmt.Errorf("tree fault %q: bad stage %q (must be >= 1)", entry, stageStr)
+		}
+		lane, err := strconv.Atoi(strings.TrimSpace(laneStr))
+		if err != nil || lane < 0 {
+			return nil, fmt.Errorf("tree fault %q: bad lane %q", entry, laneStr)
+		}
+		f := TreeFault{Stage: stage, Lane: lane}
+		fromStr, untilStr, hasUntil := strings.Cut(window, "-")
+		if f.From, err = time.ParseDuration(strings.TrimSpace(fromStr)); err != nil {
+			return nil, fmt.Errorf("tree fault %q: bad start %q: %v", entry, fromStr, err)
+		}
+		if hasUntil {
+			if f.Until, err = time.ParseDuration(strings.TrimSpace(untilStr)); err != nil {
+				return nil, fmt.Errorf("tree fault %q: bad end %q: %v", entry, untilStr, err)
+			}
+			if f.Until <= f.From {
+				return nil, fmt.Errorf("tree fault %q: window [%v,%v) is empty", entry, f.From, f.Until)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // NewFatTree attaches a radix-4 fat tree sized to cover all nodes. On a
@@ -97,13 +197,30 @@ func (t *FatTree) Deliver(src, dst, nbytes int, perByte sim.Duration, fn func())
 	hops := t.climb(src, dst)
 	d := sim.Duration(nbytes) * perByte
 	t.stage.Request(t.m.Nodes[src].S, func(t0 sim.Time) {
-		// Collect the route's down-link lanes.
+		// Collect the route's down-link lanes, detouring around faulted
+		// planes: the primary lane is the deterministic dispersive pick
+		// (Fibonacci hash of the source, standing in for the Elite
+		// switches' source routing); when its plane is down the route
+		// crosses to the next plane at one extra hop of latency per
+		// detour. If every plane at a stage is down the primary is used
+		// anyway — degraded, never dead.
 		route := make([]*sim.FIFO, 0, hops)
+		detours := 0
 		for stage := hops - 1; stage >= 0; stage-- {
 			lanes := t.down[stage][dst/pow(t.radix, stage+1)]
-			// Deterministic dispersive lane selection (Fibonacci hash of the
-			// source), standing in for the Elite switches' source routing.
-			route = append(route, lanes[int(uint32(src)*2654435761>>16)%len(lanes)])
+			h := int(uint32(src)*2654435761>>16) % len(lanes)
+			pick := h
+			if t.blockedAt(stage, pick, t0) {
+				for i := 1; i < len(lanes); i++ {
+					alt := (h + i) % len(lanes)
+					detours++
+					if !t.blockedAt(stage, alt, t0) {
+						pick = alt
+						break
+					}
+				}
+			}
+			route = append(route, lanes[pick])
 		}
 		start := t0
 		for _, l := range route {
@@ -115,7 +232,7 @@ func (t *FatTree) Deliver(src, dst, nbytes int, perByte sim.Duration, fn func())
 		for _, l := range route {
 			l.ExtendBusy(end)
 		}
-		t.stage.Exit(t.m.Nodes[dst].Lane, end+sim.Time(sim.Duration(2*hops)*t.HopLatency), fn)
+		t.stage.Exit(t.m.Nodes[dst].Lane, end+sim.Time(sim.Duration(2*hops+detours)*t.HopLatency), fn)
 	})
 }
 

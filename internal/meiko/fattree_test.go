@@ -2,6 +2,7 @@ package meiko
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -122,6 +123,127 @@ func TestFatTreeUncontendedClose(t *testing.T) {
 	}
 	if tree > 4*flat {
 		t.Fatalf("tree (%v) unreasonably above flat (%v) without contention", tree, flat)
+	}
+}
+
+// A faulted upper-stage plane degrades latency instead of killing the
+// route: the transfer detours through a neighbouring plane during the
+// outage window and the primary route comes back afterwards.
+func TestFatTreeFaultDegradesAndRecovers(t *testing.T) {
+	send := func(faults []TreeFault, at sim.Duration) sim.Time {
+		s := sim.NewScheduler(1)
+		m := NewMachine(s, 64, DefaultCosts())
+		m.Tree = m.NewFatTree()
+		if err := m.Tree.SetFaults(faults); err != nil {
+			t.Fatal(err)
+		}
+		var done sim.Time
+		s.At(sim.Time(at), func() {
+			m.Nodes[0].DMA(20, 10_000, nil, func() { done = s.Now() })
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done - sim.Time(at)
+	}
+	// Node 0 -> 20 crosses the top (3 hops); fault every plane node 0's
+	// hash could pick at stages 1 and 2 during [0, 1ms) so the route must
+	// detour whatever the lane hash lands on.
+	var faults []TreeFault
+	for stage := 1; stage <= 2; stage++ {
+		for lane := 0; lane < pow(4, stage); lane++ {
+			faults = append(faults, TreeFault{Stage: stage, Lane: lane, From: 0, Until: 999 * time.Microsecond})
+		}
+	}
+	healthy := send(nil, 0)
+	during := send(faults, 0)
+	after := send(faults, time.Millisecond)
+	if during <= healthy {
+		t.Fatalf("faulted route (%v) not slower than healthy (%v)", during, healthy)
+	}
+	if after != healthy {
+		t.Fatalf("post-window route %v, want healthy %v", after, healthy)
+	}
+	// Full-plane outage degrades, never drops: the delivery above completed.
+}
+
+// The detour is deterministic: identical schedules give bit-identical
+// delivery times.
+func TestFatTreeFaultDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		s := sim.NewScheduler(7)
+		m := NewMachine(s, 64, DefaultCosts())
+		m.Tree = m.NewFatTree()
+		if err := m.Tree.SetFaults([]TreeFault{{Stage: 2, Lane: 5, From: 0, Until: 500 * time.Microsecond}}); err != nil {
+			t.Fatal(err)
+		}
+		var times []sim.Time
+		s.At(0, func() {
+			for i := 0; i < 8; i++ {
+				m.Nodes[i*7%64].DMA((i*13+16)%64, 5_000, nil, func() {
+					times = append(times, s.Now())
+				})
+			}
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(a) != len(b) {
+		t.Fatalf("deliveries: %d vs %d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at delivery %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTreeFaultValidation(t *testing.T) {
+	s := sim.NewScheduler(1)
+	m := NewMachine(s, 64, DefaultCosts())
+	ft := m.NewFatTree() // 3 stages
+	for _, bad := range [][]TreeFault{
+		{{Stage: 0, Lane: 0}},                                          // leaf links have no redundancy
+		{{Stage: 3, Lane: 0}},                                          // beyond the tree
+		{{Stage: 1, Lane: 4}},                                          // stage 1 has 4 planes
+		{{Stage: 1, Lane: 0, From: time.Millisecond, Until: time.Microsecond}}, // empty window
+	} {
+		if err := ft.SetFaults(bad); err == nil {
+			t.Errorf("SetFaults(%+v) accepted", bad)
+		}
+	}
+	if err := ft.SetFaults([]TreeFault{{Stage: 2, Lane: 15, From: 0, Until: time.Second}}); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestParseTreeFaults(t *testing.T) {
+	got, err := ParseTreeFaults(" 1:0@5ms-20ms ; 2:3@1ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TreeFault{
+		{Stage: 1, Lane: 0, From: 5 * time.Millisecond, Until: 20 * time.Millisecond},
+		{Stage: 2, Lane: 3, From: time.Millisecond},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"1@5ms", "0:0@5ms", "1:-1@5ms", "1:0@bogus", "1:0@5ms-1ms"} {
+		if _, err := ParseTreeFaults(bad); err == nil {
+			t.Errorf("ParseTreeFaults(%q) accepted", bad)
+		}
+	}
+	if out, err := ParseTreeFaults("  "); err != nil || out != nil {
+		t.Errorf("blank spec: %v, %v", out, err)
 	}
 }
 

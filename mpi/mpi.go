@@ -75,11 +75,20 @@ type World struct {
 	// (see ParseTuning); a "bcast" entry wins over the legacy Bcast knob.
 	// Operations without an entry auto-select by message size, communicator
 	// size, and platform capability.
-	Tune     Tuning
+	Tune Tuning
+	// FTDetect is the failure-detection latency the platform wired in: how
+	// long after a scheduled kill each survivor declares the victim dead
+	// (see ScheduleKills). Platform builders calibrate it to the transport's
+	// loss-recovery horizon; zero falls back to a 100 µs default.
+	FTDetect sim.Duration
 	eps      []core.Endpoint
 	mu       sync.Mutex // guards nextCtx (ranks may run on parallel lanes)
 	nextCtx  int
-	rankDone []sim.Time
+	// shrinkCtxs memoizes the context pair agreed for each (parent context,
+	// dead set) so every survivor of a Shrink picks the same fresh contexts
+	// without communicating over the (possibly revoked) parent.
+	shrinkCtxs map[string]int
+	rankDone   []sim.Time
 
 	// Sharded-kernel wiring; nil/empty on single-scheduler worlds. Sh is
 	// the control plane and laneOf maps world rank -> lane; Launch spawns

@@ -232,6 +232,21 @@ func newWorld(cfg Config) (*mpi.World, *atm.Cluster, error) {
 		w = mpi.NewWorld(cl.S, eps)
 	}
 	w.Bcast = cfg.Bcast // BcastAuto defers to the collective layer's selector
+	// Failure-detection latency: how long after a death survivors take to
+	// declare the peer dead (see mpi.World.ScheduleKills). Scaled to each
+	// transport's loss-recovery horizon — RUDP must let a few retransmission
+	// timeouts expire before silence means death, TCP a couple of RTTs, the
+	// kernel-bypass and shared-memory paths far less.
+	switch cfg.Transport {
+	case SHM:
+		w.FTDetect = 50 * time.Microsecond
+	case TCP:
+		w.FTDetect = 2 * time.Millisecond
+	case UDP:
+		w.FTDetect = 40 * time.Millisecond
+	default: // UNET
+		w.FTDetect = 500 * time.Microsecond
+	}
 	return w, cl, nil
 }
 

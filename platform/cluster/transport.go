@@ -69,6 +69,12 @@ type transport struct {
 	// Buffered sends whose credits arrived; shipped on the next Poll from
 	// the owning process's context.
 	pendingShip []*core.Request
+
+	// Ranks fenced by PeerDown: every frame toward them is swallowed —
+	// retrying into a dead peer's black hole would otherwise escalate one
+	// process failure into link death (RUDP retry exhaustion) or a parked
+	// survivor (a TCP window that never reopens).
+	dead map[int]bool
 }
 
 type rndvRecvSt struct {
@@ -197,6 +203,9 @@ func (t *transport) MaxEager() int { return t.max }
 // writeFrame ships one protocol message (header + optional payload),
 // charging p the full kernel send path.
 func (t *transport) writeFrame(p *sim.Proc, dst int, kind core.PacketKind, env core.Envelope, aux uint32, payload []byte) {
+	if t.dead[dst] {
+		return // fenced: the peer is dead, the frame would go nowhere
+	}
 	frame := t.pool.Get(headerBytes + len(payload))
 	flow.EncodeHeaderInto(frame, kind, t.owed.Take(dst), env, aux)
 	copy(frame[headerBytes:], payload)
@@ -224,6 +233,13 @@ func (t *transport) fail(err error) {
 // transmit ships one protocol message whose flow control has cleared:
 // rendezvous envelope or eager header+payload.
 func (t *transport) transmit(p *sim.Proc, req *core.Request) {
+	if req.Err() != nil || t.dead[req.Env.Dest] {
+		// The destination died while the message queued on flow control (the
+		// engine already failed the request with ErrPeerDown). Done() is the
+		// wrong guard here: a buffered send completes at Isend time yet must
+		// still ship.
+		return
+	}
 	if req.Env.Count > t.max {
 		if ad, ok := t.takeRTR(req); ok {
 			// The receiver advertised a matching pre-posted buffer: write
@@ -461,6 +477,41 @@ func (t *transport) Release(p *sim.Proc, src int, n int) {
 	}
 }
 
+// PeerDown implements core.PeerFencer: fence every piece of per-peer
+// transport state toward a dead rank so nothing ever retries into its
+// black hole — queued sends are dropped (the engine already failed their
+// requests), rendezvous bookkeeping toward it is forgotten, flow-control
+// capacity is restored (the corpse can never grant credit back), and the
+// wire itself is fenced (TCP discards, RUDP abandons retransmission).
+func (t *transport) PeerDown(rank int) {
+	if t.dead == nil {
+		t.dead = make(map[int]bool)
+	}
+	t.dead[rank] = true
+	for id, req := range t.rndvSend {
+		if req.Env.Dest == rank {
+			delete(t.rndvSend, id)
+		}
+	}
+	delete(t.rtrQ, rank)
+	t.fc.DropDst(rank, t.creditCap, nil)
+	keep := t.pendingShip[:0]
+	for _, req := range t.pendingShip {
+		if req.Env.Dest != rank {
+			keep = append(keep, req)
+		}
+	}
+	t.pendingShip = keep
+	if t.kind == TCP {
+		if c := t.conns[rank]; c != nil {
+			c.Drop()
+		}
+	} else if dp, ok := t.dgram.(interface{ DropPeer(int) }); ok {
+		dp.DropPeer(rank)
+	}
+	t.wake()
+}
+
 // addCredit books returned reservation at the sender side: the flow layer
 // re-admits queued sends in issue order onto the pendingShip list; the
 // owning process transmits them on its next Poll (kernel writes need a
@@ -598,6 +649,8 @@ func (t *transport) parseTCP(p *sim.Proc, src int, conn *atm.TCP) {
 		t.rtrQ[env.Source] = append(t.rtrQ[env.Source], rtrAd{env: env, aux: aux})
 	case core.PktSyncAck:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
+	case core.PktRevoke:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
 	case core.PktCredit:
 		// Credit already booked from the header; nothing to surface.
 	default:
@@ -721,6 +774,8 @@ func (t *transport) parseDgram(p *sim.Proc) bool {
 		t.rtrQ[env.Source] = append(t.rtrQ[env.Source], rtrAd{env: env, aux: aux})
 	case core.PktSyncAck:
 		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env, ReqID: env.SendID})
+	case core.PktRevoke:
+		t.inbox = append(t.inbox, &core.Packet{Kind: kind, Env: env})
 	case core.PktCredit:
 	default:
 		t.eng.Errors = append(t.eng.Errors, core.Errorf(core.ErrInternal, "unknown packet kind %d", kind))

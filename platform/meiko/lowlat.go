@@ -96,6 +96,12 @@ func (t *lowlatTransport) Send(p *sim.Proc, req *core.Request) {
 // transmit ships one envelope (proc or event context); the slot for
 // req.Env.Dest must already be held.
 func (t *lowlatTransport) transmit(req *core.Request) {
+	if req.Err() != nil {
+		// Failed while queued on the envelope slot — the destination died
+		// (or this rank turned fatal). Done() is the wrong guard: a
+		// buffered send completes at Isend time yet must still ship.
+		return
+	}
 	env := req.Env
 	dst := env.Dest
 	if env.Count > t.max {
@@ -194,6 +200,28 @@ func (t *lowlatTransport) Control(p *sim.Proc, dst int, kind core.PacketKind, en
 // per-sender slot holds only the newest envelope), so consuming the bounce
 // copy needs no further transport action.
 func (t *lowlatTransport) Release(p *sim.Proc, src int, n int) {}
+
+// PeerDown implements core.PeerFencer: forget rendezvous sends toward the
+// dead rank (their CTS can never arrive — the engine already failed the
+// requests) and restore the envelope slots it held, since a corpse never
+// returns slot-free acknowledgements.
+func (t *lowlatTransport) PeerDown(rank int) {
+	for id, req := range t.rndv {
+		if req.Env.Dest == rank {
+			delete(t.rndv, id)
+		}
+	}
+	t.fc.DropDst(rank, t.slots, nil)
+	t.eng.Wake()
+	// Procs parked in the hardware-broadcast slot wait recheck the dead
+	// set once woken (see HWBcast).
+	t.bcCond.Broadcast()
+}
+
+// FatalWake wakes procs parked on transport-owned conditions when this
+// rank's own engine turns fatal, so a killed process fails out of the
+// hardware broadcast instead of sleeping forever.
+func (t *lowlatTransport) FatalWake() { t.bcCond.Broadcast() }
 
 // slotFreed runs at the sender (event context) when a slot-free
 // transaction lands: the flow layer either reuses the slot immediately for
@@ -343,6 +371,24 @@ func (ep *LowLatEndpoint) HWBcast(p *sim.Proc, root, ctx int, buf []byte) error 
 	if size == 1 {
 		return nil
 	}
+	// The broadcast network reaches every node, so one dead member makes
+	// the collective uncompletable: the root would wait forever for the
+	// corpse's ready transaction (or a child for a dead root's payload).
+	// Fail with the death reason instead of parking — detection is a
+	// simultaneous simulated-time event on every survivor, so all ranks
+	// take the same branch.
+	ftCheck := func() error {
+		if err := t.eng.FatalErr(); err != nil {
+			return err
+		}
+		for _, r := range t.eng.DeadRanks() {
+			return t.eng.DeadErr(r)
+		}
+		return nil
+	}
+	if err := ftCheck(); err != nil {
+		return err
+	}
 	acct := ep.Acct()
 	if ep.Rank() != root {
 		// Tell the root we are ready to receive, then wait for the
@@ -355,6 +401,9 @@ func (ep *LowLatEndpoint) HWBcast(p *sim.Proc, root, ctx int, buf []byte) error 
 			rt.bcCond.Broadcast()
 		})
 		for t.bcSeq == seq {
+			if err := ftCheck(); err != nil {
+				return err
+			}
 			t.bcCond.Wait(p)
 		}
 		n := copy(buf, t.bcData)
@@ -365,6 +414,9 @@ func (ep *LowLatEndpoint) HWBcast(p *sim.Proc, root, ctx int, buf []byte) error 
 
 	// Root: wait for everyone, then broadcast.
 	for t.bcReady < size-1 {
+		if err := ftCheck(); err != nil {
+			return err
+		}
 		t.bcCond.Wait(p)
 	}
 	t.bcReady -= size - 1

@@ -141,6 +141,13 @@ func NewWorld(cfg Config) (*mpi.World, *meiko.Machine) {
 	default:
 		w.Bcast = mpi.BcastBinomial // MPICH's point-to-point tree
 	}
+	if cfg.Impl == LowLatency {
+		// Failure detection on the CS/2: a missed envelope-slot heartbeat
+		// horizon, a handful of network round trips. MPICH keeps the zero
+		// default — its tport endpoints cannot fail requests per peer, and
+		// ScheduleKills rejects them with a typed error.
+		w.FTDetect = 20 * time.Microsecond
+	}
 	return w, m
 }
 

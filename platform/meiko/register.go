@@ -13,23 +13,30 @@ import (
 // through the registry.
 func init() {
 	registry.Register("meiko/lowlatency", func(s registry.Spec) (*mpi.World, error) {
-		cfg, err := specConfig(s)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Impl = LowLatency
-		w, _ := NewWorld(cfg)
-		return w, nil
+		return buildWorld(s, LowLatency)
 	})
 	registry.Register("meiko/mpich", func(s registry.Spec) (*mpi.World, error) {
-		cfg, err := specConfig(s)
+		return buildWorld(s, MPICH)
+	})
+}
+
+func buildWorld(s registry.Spec, impl Impl) (*mpi.World, error) {
+	cfg, err := specConfig(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Impl = impl
+	w, m := NewWorld(cfg)
+	if s.TreeFaults != "" {
+		faults, err := meiko.ParseTreeFaults(s.TreeFaults)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Impl = MPICH
-		w, _ := NewWorld(cfg)
-		return w, nil
-	})
+		if err := m.Tree.SetFaults(faults); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // specConfig maps the platform-neutral job spec onto this platform's
@@ -40,7 +47,7 @@ func specConfig(s registry.Spec) (Config, error) {
 		Lanes:         s.Lanes,
 		Eager:         s.Eager,
 		Bcast:         s.Bcast,
-		FatTree:       s.FatTree,
+		FatTree:       s.FatTree || s.TreeFaults != "",
 		EnvelopeSlots: s.EnvelopeSlots,
 		Seed:          s.Seed,
 	}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atm"
 	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -62,6 +63,19 @@ type Spec struct {
 	DropEveryN int           // cluster: deterministically drop every Nth frame
 	Partition  string        // cluster: partition schedule (atm.ParsePartitions)
 	FaultSeed  int64         // cluster: fault RNG seed (0 = derive from Seed)
+
+	// Kills is a process-death schedule, "RANK@T;RANK@T" (atm.ParseKills).
+	// Unlike the wire-fault knobs it works on every backend — deaths are
+	// scheduled engine events, not frame mutations — so it is deliberately
+	// excluded from HasFaults.
+	Kills string
+
+	// TreeFaults is a Meiko switch-plane outage schedule,
+	// "STAGE:LANE@FROM-UNTIL;..." (meiko.ParseTreeFaults). It implies
+	// FatTree and, like Kills, is excluded from HasFaults: the tree
+	// reroutes deterministically around the dead plane, so runs stay
+	// bit-reproducible without the cluster fault layer's RNG.
+	TreeFaults string
 }
 
 // HasFaults reports whether any fault-injection knob is set.
@@ -152,6 +166,9 @@ func Build(s Spec) (*mpi.World, error) {
 	if s.HasFaults() && s.Platform != "cluster" {
 		return nil, fmt.Errorf("backend %q: fault injection (loss/delay/reorder/partition) exists only on the cluster platform", s.Key())
 	}
+	if s.TreeFaults != "" && s.Platform != "meiko" {
+		return nil, fmt.Errorf("backend %q: switch-plane faults exist only on the meiko fat tree", s.Key())
+	}
 	w, err := b(s)
 	if err != nil {
 		return nil, err
@@ -167,6 +184,15 @@ func Build(s Spec) (*mpi.World, error) {
 			return nil, fmt.Errorf("backend %q: %w", s.Key(), err)
 		}
 		w.Tune = t
+	}
+	if s.Kills != "" {
+		kills, err := atm.ParseKills(s.Kills)
+		if err != nil {
+			return nil, fmt.Errorf("backend %q: %w", s.Key(), err)
+		}
+		if err := w.ScheduleKills(kills); err != nil {
+			return nil, fmt.Errorf("backend %q: %w", s.Key(), err)
+		}
 	}
 	return w, nil
 }
@@ -228,6 +254,8 @@ func init() {
 		if s.Bcast != mpi.BcastAuto {
 			w.Bcast = s.Bcast
 		}
+		// A flat-microsecond fabric detects a silent peer almost at once.
+		w.FTDetect = 10 * time.Microsecond
 		return w, nil
 	})
 }
