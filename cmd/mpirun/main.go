@@ -10,6 +10,18 @@
 // backends (or algorithms, for -coll) on a typo instead of silently
 // falling back to a default.
 //
+// Instead of -app, -workload drives a macro-workload pattern
+// (internal/workload) and -record saves its event stream as a binary
+// trace; -replay re-runs a saved trace and verifies the fresh timeline
+// reproduces it event for event:
+//
+//	mpirun -workload halo -record t.bin
+//	mpirun -replay t.bin
+//	mpirun -replay t.bin -lanes 8 -parallel   # cross-kernel determinism
+//
+// A replay that diverges prints the first divergent event (rank, virtual
+// time, op) and exits 1.
+//
 // Exit codes under fault injection (-kill): 0 means the job completed
 // with its full membership, 2 means members died but the survivors
 // recovered (revoke + shrink) and completed, and 1 means the job failed —
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/workload"
 	"repro/mpi"
 	"repro/platform/registry"
 
@@ -61,7 +74,18 @@ func main() {
 	nortr := flag.Bool("nortr", false, "cluster: disable the RDMA-write rendezvous (pin large sends to RTS/CTS)")
 	kill := flag.String("kill", "", `process-death schedule, e.g. "2@5ms;3@8ms" (RANK@T; any backend)`)
 	treefault := flag.String("treefault", "", `meiko: switch-plane outage schedule, e.g. "1:0@5ms-20ms" (STAGE:LANE@FROM[-UNTIL]; implies -fattree)`)
+	wl := flag.String("workload", "", "run a macro-workload pattern instead of -app: "+strings.Join(workload.Names(), " | "))
+	record := flag.String("record", "", "with -workload: write the recorded binary trace here")
+	replay := flag.String("replay", "", "replay a recorded trace (world rebuilt from its header; -lanes/-parallel may override the kernel)")
+	steps := flag.Int("steps", 0, "workload iterations per rank (0 = default 20)")
+	wbytes := flag.Int("bytes", 0, "workload per-message payload bytes (0 = default 1024)")
+	rate := flag.Float64("rate", 0, "rpc workload: mean arrivals/sec per client (0 = default 2000)")
+	arrival := flag.String("arrival", "", "rpc workload arrival process: "+strings.Join(workload.ArrivalNames(), " | ")+" (default poisson)")
 	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayTrace(*replay, *lanes, *parallel))
+	}
 
 	validApp := false
 	for _, name := range appNames {
@@ -70,7 +94,7 @@ func main() {
 			break
 		}
 	}
-	if !validApp {
+	if !validApp && *wl == "" {
 		log.Fatalf("mpirun: unknown app %q\napps: %s", *app, strings.Join(appNames, ", "))
 	}
 
@@ -96,6 +120,16 @@ func main() {
 		NoRTR:      *nortr,
 		Kills:      *kill,
 		TreeFaults: *treefault,
+		Workload:   *wl,
+	}
+
+	if *wl != "" {
+		cfg := workload.Config{
+			Pattern: *wl, Backend: spec.Key(), Ranks: *np,
+			Lanes: *lanes, Parallel: *parallel, Seed: *seed,
+			Steps: *steps, Bytes: *wbytes, Rate: *rate, Arrival: *arrival,
+		}
+		os.Exit(runWorkload(spec, cfg, *record))
 	}
 
 	secPerFlop := apps.MeikoSecPerFlop
@@ -200,4 +234,73 @@ func main() {
 		fmt.Printf("faults: %d rank(s) killed, %d survivor(s) recovered by shrink\n", ftDied, ftShrunk)
 		os.Exit(2) // survived-with-shrink: degraded success, not failure
 	}
+}
+
+// runWorkload records one workload run, prints its SLO summary, and
+// optionally saves the binary trace. Returns the process exit code.
+func runWorkload(spec registry.Spec, cfg workload.Config, recordPath string) int {
+	w, err := registry.Build(spec)
+	if err != nil {
+		log.Printf("mpirun: %v", err)
+		return 1
+	}
+	res, err := workload.Run(w, cfg)
+	if err != nil {
+		log.Printf("mpirun: workload: %v", err)
+		return 1
+	}
+	printSummary(spec.Key(), res)
+	if recordPath != "" {
+		data := res.Trace.Marshal()
+		if err := os.WriteFile(recordPath, data, 0o644); err != nil {
+			log.Printf("mpirun: %v", err)
+			return 1
+		}
+		fmt.Printf("recorded %d events (%d bytes) to %s\n", len(res.Trace.Events), len(data), recordPath)
+	}
+	return 0
+}
+
+// replayTrace re-runs a saved trace on a world rebuilt from its header
+// (kernel overridable via -lanes/-parallel) and verifies determinism.
+func replayTrace(path string, lanes int, parallel bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("mpirun: %v", err)
+		return 1
+	}
+	tr, err := workload.Unmarshal(data)
+	if err != nil {
+		log.Printf("mpirun: %s: %v", path, err)
+		return 1
+	}
+	spec := registry.SpecFor(tr.Cfg.Backend)
+	spec.Ranks = tr.Cfg.Ranks
+	spec.Seed = tr.Cfg.Seed
+	spec.Workload = tr.Cfg.Pattern
+	spec.Lanes, spec.Parallel = tr.Cfg.Lanes, tr.Cfg.Parallel
+	if lanes > 0 {
+		spec.Lanes, spec.Parallel = lanes, parallel
+	}
+	w, err := registry.Build(spec)
+	if err != nil {
+		log.Printf("mpirun: %v", err)
+		return 1
+	}
+	res, err := workload.Replay(w, tr)
+	if err != nil {
+		log.Printf("mpirun: %v", err)
+		return 1
+	}
+	printSummary(spec.Key(), res)
+	fmt.Printf("replay ok: %d events reproduced bit-identically\n", len(tr.Events))
+	return 0
+}
+
+func printSummary(backend string, res *workload.Result) {
+	s := res.Summary
+	fmt.Printf("workload %s on %s: %d SLO events, elapsed %.1fus virtual\n",
+		s.Pattern, backend, s.Events, s.ElapsedUS)
+	fmt.Printf("latency p50/p99/p999 %.1f/%.1f/%.1f us; throughput %.0f ops/s, %.2f MB/s\n",
+		s.P50US, s.P99US, s.P999US, s.OpsPerSec, s.MBPerSec)
 }

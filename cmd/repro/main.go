@@ -34,6 +34,7 @@ func main() {
 	rma := flag.Bool("rma", false, "run the one-sided (RMA) sweep and the RDMA-write rendezvous ablation")
 	scale := flag.Bool("scale", false, "run the kernel scale sweep (sharded vs single-lane, 64-4096 ranks; 16384 with -full)")
 	chaos := flag.Bool("chaos", false, "sweep kill schedules x loss over every kill-capable backend and lane count")
+	workloads := flag.Bool("workloads", false, "sweep every macro-workload pattern across backends x kernels with record/replay verification")
 	all := flag.Bool("all", false, "run everything")
 	full := flag.Bool("full", false, "use the paper's full sweep ranges")
 	iters := flag.Int("iters", 5, "repetitions per point")
@@ -49,6 +50,8 @@ func main() {
 	scaleBaseline := flag.String("scalebaseline", "", "with -scale: compare against this committed baseline and exit nonzero on >10% events/sec regression or any allocs/op increase")
 	chaosJSONPath := flag.String("chaosjson", "BENCH_chaos.json", "with -chaos: write the machine-readable record here (\"\" disables)")
 	chaosBaseline := flag.String("chaosbaseline", "", "with -chaos: compare against this committed baseline and exit nonzero on lost survival or >10% latency regression (the 100%-survival floor for single-failure schedules applies regardless)")
+	workloadsJSONPath := flag.String("workloadsjson", "BENCH_workloads.json", "with -workloads: write the machine-readable record here (\"\" disables)")
+	workloadsBaseline := flag.String("workloadsbaseline", "", "with -workloads: compare against this committed baseline and exit nonzero on a dropped point or >10% p99/throughput regression (the byte-identical re-record and replay floors apply regardless)")
 	flag.Parse()
 
 	o := bench.Opts{Iters: *iters, Full: *full}
@@ -92,8 +95,9 @@ func main() {
 		*rma = true
 		*scale = true
 		*chaos = true
+		*workloads = true
 	}
-	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*rma && !*scale && !*chaos {
+	if len(want) == 0 && !*table1 && !*matmul && !*ablations && !*anchors && !*collectives && !*faults && !*matchbench && !*rma && !*scale && !*chaos && !*workloads {
 		flag.Usage()
 		return
 	}
@@ -337,6 +341,42 @@ func main() {
 		if fails := bench.CheckChaos(rep, base, 0.10); len(fails) > 0 {
 			for _, f := range fails {
 				log.Printf("chaos gate: %s", f)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *workloads {
+		var base *bench.WorkloadsReport
+		if *workloadsBaseline != "" {
+			data, err := os.ReadFile(*workloadsBaseline)
+			if err != nil {
+				log.Fatalf("workloads baseline: %v", err)
+			}
+			b, err := bench.UnmarshalWorkloads(data)
+			if err != nil {
+				log.Fatalf("workloads baseline: %v", err)
+			}
+			base = &b
+		}
+		rep, err := bench.Workloads(o)
+		if err != nil {
+			log.Fatalf("workloads: %v", err)
+		}
+		fmt.Println(bench.FormatWorkloads(rep))
+		if *workloadsJSONPath != "" {
+			data, err := rep.Marshal()
+			if err != nil {
+				log.Fatalf("workloads json: %v", err)
+			}
+			if err := os.WriteFile(*workloadsJSONPath, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *workloadsJSONPath)
+		}
+		if fails := bench.CheckWorkloads(rep, base, 0.10); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("workloads gate: %s", f)
 			}
 			os.Exit(1)
 		}

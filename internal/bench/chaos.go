@@ -29,12 +29,12 @@ type ChaosPoint struct {
 	Lanes     int     `json:"lanes"`
 	Kills     string  `json:"kills,omitempty"`
 	Loss      float64 `json:"loss,omitempty"`
-	Failures  int     `json:"failures"`        // ranks the schedule kills
-	Survived  bool    `json:"survived"`        // all survivors finished with the survivor sum
-	Shrinks   int     `json:"shrinks"`         // most recovery rounds any survivor ran
-	DetectUS  float64 `json:"detect_us"`       // worst survivor: kill -> failure observed
-	ShrinkUS  float64 `json:"shrink_us"`       // worst survivor: observed -> shrunken comm ready
-	ElapsedUS float64 `json:"elapsed_us"`      // worst survivor: entry -> final answer
+	Failures  int     `json:"failures"`   // ranks the schedule kills
+	Survived  bool    `json:"survived"`   // all survivors finished with the survivor sum
+	Shrinks   int     `json:"shrinks"`    // most recovery rounds any survivor ran
+	DetectUS  float64 `json:"detect_us"`  // worst survivor: kill -> failure observed
+	ShrinkUS  float64 `json:"shrink_us"`  // worst survivor: observed -> shrunken comm ready
+	ElapsedUS float64 `json:"elapsed_us"` // worst survivor: entry -> final answer
 }
 
 // ChaosReport is the machine-readable record of one sweep

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full sweep is exercised (and double-run) by the CI workloads job;
+// here one cell proves the record/re-record/replay plumbing end to end.
+func TestWorkloadCell(t *testing.T) {
+	pts, err := workloadCell("mem", "halo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(workloadKernels) {
+		t.Fatalf("got %d points, want %d", len(pts), len(workloadKernels))
+	}
+	for _, p := range pts {
+		if !p.RerecordOK || !p.ReplayOK {
+			t.Errorf("lanes=%d: rerecord=%v replay=%v", p.Lanes, p.RerecordOK, p.ReplayOK)
+		}
+		if p.Events == 0 || p.P50US <= 0 || p.OpsPerSec <= 0 {
+			t.Errorf("lanes=%d: degenerate point %+v", p.Lanes, p)
+		}
+		if p.TraceBytes == 0 {
+			t.Errorf("lanes=%d: trace size not recorded", p.Lanes)
+		}
+	}
+	// The sharded replays must score the same virtual-time summary.
+	for _, p := range pts[1:] {
+		if p.P99US != pts[0].P99US || p.ElapsedUS != pts[0].ElapsedUS {
+			t.Errorf("lanes=%d summary differs from single-lane: %+v vs %+v", p.Lanes, p, pts[0])
+		}
+	}
+}
+
+func TestCheckWorkloadsGate(t *testing.T) {
+	rep := WorkloadsReport{Ranks: workloadRanks, Seed: workloadSeed}
+	for _, backend := range workloadBackends {
+		for _, pattern := range []string{"allreduce", "halo", "rpc", "shuffle", "stencil"} {
+			for _, k := range workloadKernels {
+				rep.Points = append(rep.Points, WorkloadPoint{
+					Workload: pattern, Backend: backend, Lanes: k.Lanes, Parallel: k.Parallel,
+					Events: 160, P50US: 100, P99US: 200, P999US: 300, OpsPerSec: 1000, MBPerSec: 5,
+					RerecordOK: true, ReplayOK: true,
+				})
+			}
+		}
+	}
+	if fails := CheckWorkloads(rep, nil, 0.10); len(fails) != 0 {
+		t.Fatalf("clean report failed static floors: %v", fails)
+	}
+
+	broken := rep
+	broken.Points = append([]WorkloadPoint(nil), rep.Points...)
+	broken.Points[0].ReplayOK = false
+	if fails := CheckWorkloads(broken, nil, 0.10); len(fails) != 1 || !strings.Contains(fails[0], "diverged") {
+		t.Fatalf("divergence not gated: %v", fails)
+	}
+
+	missing := rep
+	missing.Points = rep.Points[1:]
+	if fails := CheckWorkloads(missing, nil, 0.10); len(fails) == 0 {
+		t.Fatal("missing grid point not gated")
+	}
+
+	regressed := rep
+	regressed.Points = append([]WorkloadPoint(nil), rep.Points...)
+	regressed.Points[3].P99US *= 1.5
+	regressed.Points[4].OpsPerSec *= 0.5
+	fails := CheckWorkloads(regressed, &rep, 0.10)
+	if len(fails) != 2 {
+		t.Fatalf("want p99 + throughput regressions flagged, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "p99") || !strings.Contains(fails[1], "throughput") {
+		t.Fatalf("unexpected gate messages: %v", fails)
+	}
+
+	if fails := CheckWorkloads(rep, &regressed, 0.10); len(fails) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", fails)
+	}
+}

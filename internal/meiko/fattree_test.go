@@ -206,9 +206,9 @@ func TestTreeFaultValidation(t *testing.T) {
 	m := NewMachine(s, 64, DefaultCosts())
 	ft := m.NewFatTree() // 3 stages
 	for _, bad := range [][]TreeFault{
-		{{Stage: 0, Lane: 0}},                                          // leaf links have no redundancy
-		{{Stage: 3, Lane: 0}},                                          // beyond the tree
-		{{Stage: 1, Lane: 4}},                                          // stage 1 has 4 planes
+		{{Stage: 0, Lane: 0}}, // leaf links have no redundancy
+		{{Stage: 3, Lane: 0}}, // beyond the tree
+		{{Stage: 1, Lane: 4}}, // stage 1 has 4 planes
 		{{Stage: 1, Lane: 0, From: time.Millisecond, Until: time.Microsecond}}, // empty window
 	} {
 		if err := ft.SetFaults(bad); err == nil {

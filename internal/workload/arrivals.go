@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Arrivals is a deterministic open-loop arrival process on the simulated
+// clock: Next returns the gap to the following arrival. Generators are
+// seeded, so the same (kind, rate, seed) triple always yields the same
+// arrival sequence — the foundation of trace replay.
+type Arrivals interface {
+	// Next returns the inter-arrival gap to the next request.
+	Next() time.Duration
+}
+
+// ArrivalNames lists the registered arrival processes in the order
+// NewArrivals accepts them.
+func ArrivalNames() []string { return []string{"poisson", "bursty", "diurnal"} }
+
+// NewArrivals builds the named arrival process. rate is the long-run mean
+// arrivals per simulated second and must be positive.
+func NewArrivals(kind string, rate float64, seed int64) (Arrivals, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", rate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "", "poisson":
+		return &poissonArrivals{rate: rate, rng: rng}, nil
+	case "bursty":
+		return &burstyArrivals{rate: rate, rng: rng}, nil
+	case "diurnal":
+		return &diurnalArrivals{rate: rate, rng: rng}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q (registered: %s)",
+		kind, strings.Join(ArrivalNames(), ", "))
+}
+
+// poissonArrivals draws exponential gaps: a memoryless process at the
+// configured mean rate.
+type poissonArrivals struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+func (p *poissonArrivals) Next() time.Duration {
+	return gap(p.rng.ExpFloat64() / p.rate)
+}
+
+// burstyArrivals is a two-state Markov-modulated Poisson process: bursts
+// arrive at burstFactor times the mean rate, separated by quiet spells at
+// quietFactor of it. State lengths are geometric. The constants balance:
+// a mean burst is 10 arrivals over 2/rate seconds and a mean quiet spell
+// 2 arrivals over 10/rate seconds, so the long-run rate equals the
+// configured mean while the short-run rate whipsaws 25x.
+type burstyArrivals struct {
+	rate    float64
+	rng     *rand.Rand
+	inBurst bool
+	left    int // arrivals remaining in the current state
+}
+
+const (
+	burstFactor = 5.0 // burst-state rate multiplier
+	quietFactor = 0.2 // quiet-state rate multiplier
+	burstLen    = 10  // mean arrivals per burst
+	quietLen    = 2   // mean arrivals per quiet spell
+)
+
+func (b *burstyArrivals) Next() time.Duration {
+	if b.left == 0 {
+		b.inBurst = !b.inBurst
+		mean := quietLen
+		if b.inBurst {
+			mean = burstLen
+		}
+		// Geometric state length with the given mean, at least 1.
+		b.left = 1 + int(float64(mean)*b.rng.ExpFloat64())
+	}
+	b.left--
+	r := b.rate * quietFactor
+	if b.inBurst {
+		r = b.rate * burstFactor
+	}
+	return gap(b.rng.ExpFloat64() / r)
+}
+
+// diurnalArrivals modulates a Poisson process with a sinusoid over a
+// virtual "day", rising to 1.8x the mean at peak and falling to 0.2x in
+// the trough. The phase advances with the arrivals themselves, so the
+// process stays deterministic on the simulated clock.
+type diurnalArrivals struct {
+	rate float64
+	rng  *rand.Rand
+	t    float64 // virtual seconds since the epoch of this generator
+}
+
+// diurnalPeriod is the virtual day length in seconds. It is short so the
+// default sweeps traverse several peaks and troughs.
+const diurnalPeriod = 0.05
+
+func (d *diurnalArrivals) Next() time.Duration {
+	r := d.rate * (1 + 0.8*math.Sin(2*math.Pi*d.t/diurnalPeriod))
+	if min := d.rate * 0.2; r < min {
+		r = min
+	}
+	g := d.rng.ExpFloat64() / r
+	d.t += g
+	return gap(g)
+}
+
+// gap converts seconds to a Duration, clamping below at one nanosecond so
+// arrivals always advance the clock.
+func gap(sec float64) time.Duration {
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}

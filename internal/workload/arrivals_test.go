@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func drain(t *testing.T, kind string, rate float64, seed int64, n int) []time.Duration {
+	t.Helper()
+	a, err := NewArrivals(kind, rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		gaps[i] = a.Next()
+		if gaps[i] <= 0 {
+			t.Fatalf("%s gap %d is %v; arrivals must advance the clock", kind, i, gaps[i])
+		}
+	}
+	return gaps
+}
+
+// Same (kind, rate, seed) must reproduce the exact arrival sequence;
+// different seeds must not.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, kind := range ArrivalNames() {
+		a := drain(t, kind, 1000, 42, 500)
+		b := drain(t, kind, 1000, 42, 500)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: gap %d differs across same-seed generators: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+		c := drain(t, kind, 1000, 43, 500)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced identical sequences", kind)
+		}
+	}
+}
+
+// Every process should realize its configured long-run mean rate.
+func TestArrivalsMeanRate(t *testing.T) {
+	const rate, n = 1000.0, 60000
+	for _, kind := range ArrivalNames() {
+		var total time.Duration
+		for _, g := range drain(t, kind, rate, 7, n) {
+			total += g
+		}
+		got := float64(n) / total.Seconds()
+		if got < rate*0.85 || got > rate*1.15 {
+			t.Errorf("%s: long-run rate %.1f/s, want within 15%% of %.1f/s", kind, got, rate)
+		}
+	}
+}
+
+// Bursty must actually whipsaw: the short-run rate spread should far
+// exceed a plain Poisson process at the same mean.
+func TestBurstyIsBursty(t *testing.T) {
+	gaps := drain(t, "bursty", 1000, 3, 20000)
+	var short, long int
+	mean := time.Duration(float64(time.Second) / 1000)
+	for _, g := range gaps {
+		if g < mean/3 {
+			short++
+		}
+		if g > 2*mean {
+			long++
+		}
+	}
+	// Bursts at 5x produce many sub-mean/3 gaps; quiet spells at 0.2x
+	// produce many super-2x gaps. A flat Poisson has ~28% and ~14%.
+	if short < len(gaps)/2 {
+		t.Errorf("only %d/%d gaps are burst-short", short, len(gaps))
+	}
+	if long < len(gaps)/20 {
+		t.Errorf("only %d/%d gaps are quiet-long", long, len(gaps))
+	}
+}
+
+func TestNewArrivalsRejects(t *testing.T) {
+	if _, err := NewArrivals("tidal", 100, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := NewArrivals("poisson", 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewArrivals("", 100, 1); err != nil {
+		t.Errorf("empty kind should default to poisson: %v", err)
+	}
+}

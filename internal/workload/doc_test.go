@@ -1,0 +1,107 @@
+package workload_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented enforces the documentation bar
+// hermetically, mirroring mpi/doc_test.go (the CI revive step is
+// best-effort because linter installs need the network): every exported
+// symbol in package workload must carry a doc comment.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["workload"]
+	if !ok {
+		t.Fatal("package workload not found")
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, kind, name))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				if d.Doc == nil {
+					name := d.Name.Name
+					if d.Recv != nil {
+						name = receiverName(d.Recv) + "." + name
+					}
+					report(d.Pos(), "func", name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							// A doc comment on the grouped decl covers the
+							// whole block; line comments cover single specs.
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported symbols without doc comments:\n  %s", strings.Join(missing, "\n  "))
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	name := receiverName(recv)
+	return name != "" && ast.IsExported(name)
+}
+
+// receiverName extracts the bare receiver type name (pointer stripped).
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

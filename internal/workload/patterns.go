@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/mpi"
+)
+
+// The canonical patterns. Each registers at init; Names() is the CLI
+// contract. Every body is deterministic given (Config, rank): message
+// payloads come from the rank's seeded RNG, arrival times from the seeded
+// generators, and all waiting happens on the virtual clock.
+func init() {
+	Register(Pattern{Name: "allreduce", SLO: OpCollective, Body: allreduceLoop,
+		Doc: "data-parallel training loop: per-step compute, then a gradient allreduce"})
+	Register(Pattern{Name: "halo", SLO: OpStep, Body: halo,
+		Doc: "2-D periodic halo exchange: four Sendrecv legs per sweep plus interior compute"})
+	Register(Pattern{Name: "rpc", SLO: OpRequest, Body: rpcFanIn,
+		Doc: "many-client RPC fan-in: open-loop arrivals at every client, rank 0 serves"})
+	Register(Pattern{Name: "shuffle", SLO: OpCollective, Body: shuffle,
+		Doc: "all-to-all shuffle rounds (samplesort/repartition traffic)"})
+	Register(Pattern{Name: "stencil", SLO: OpStep, Body: stencil,
+		Doc: "1-D ring stencil: boundary exchange both ways, compute, periodic residual allreduce"})
+}
+
+// fill draws a payload from the rank's RNG so recordings consume the
+// seeded stream even though the engine never inspects bytes.
+func (e *Env) fill(b []byte) {
+	_, _ = e.RNG.Read(b)
+}
+
+// halo sweeps a 2-D periodic Cartesian grid: each step exchanges a
+// boundary payload with all four neighbors via Sendrecv (one OpExchange
+// per leg), charges the interior compute, and closes with an OpStep.
+func halo(e *Env) error {
+	c := e.C
+	py, px := mpi.Dims2(c.Size())
+	cart, err := c.CartCreate([]int{py, px}, []bool{true, true})
+	if err != nil {
+		return err
+	}
+	n := e.Cfg.Bytes
+	out := make([]byte, n)
+	in := make([]byte, n)
+	e.fill(out)
+	for step := 0; step < e.Cfg.Steps; step++ {
+		start := c.Wtime()
+		for dim := 0; dim < 2; dim++ {
+			for _, disp := range []int{1, -1} {
+				src, dst := cart.Shift(dim, disp)
+				if dst == c.Rank() {
+					continue // 1-wide periodic dimension: no neighbor
+				}
+				xs := c.Wtime()
+				if _, err := c.Sendrecv(dst, step, out, src, step, in); err != nil {
+					return err
+				}
+				e.Record(OpExchange, dst, step, n, xs)
+			}
+		}
+		c.Compute(e.Cfg.Compute)
+		e.Record(OpStep, -1, step, 4*n, start)
+	}
+	return c.Barrier()
+}
+
+// stencil iterates a 1-D periodic ring: exchange one boundary plane with
+// each neighbor, charge the sweep compute, and every residualEvery steps
+// run a one-element allreduce standing in for the convergence check.
+const residualEvery = 8
+
+func stencil(e *Env) error {
+	c := e.C
+	size, me := c.Size(), c.Rank()
+	left, right := (me-1+size)%size, (me+1)%size
+	n := e.Cfg.Bytes
+	out := make([]byte, n)
+	in := make([]byte, n)
+	e.fill(out)
+	residual := []float64{float64(me + 1)}
+	for step := 0; step < e.Cfg.Steps; step++ {
+		start := c.Wtime()
+		if left != me {
+			xs := c.Wtime()
+			if _, err := c.Sendrecv(left, step, out, right, step, in); err != nil {
+				return err
+			}
+			e.Record(OpExchange, left, step, n, xs)
+			xs = c.Wtime()
+			if _, err := c.Sendrecv(right, step, out, left, step, in); err != nil {
+				return err
+			}
+			e.Record(OpExchange, right, step, n, xs)
+		}
+		c.Compute(e.Cfg.Compute)
+		if (step+1)%residualEvery == 0 {
+			xs := c.Wtime()
+			if _, err := c.AllreduceFloat64(mpi.SumFloat64, residual); err != nil {
+				return err
+			}
+			e.Record(OpCollective, -1, step, 8, xs)
+		}
+		e.Record(OpStep, -1, step, 2*n, start)
+	}
+	return c.Barrier()
+}
+
+// shuffle runs all-to-all rounds: every rank scatters a Bytes block to
+// each peer (samplesort/repartition traffic), then charges the
+// repartition compute.
+func shuffle(e *Env) error {
+	c := e.C
+	size := c.Size()
+	n := e.Cfg.Bytes
+	send := make([]byte, size*n)
+	recv := make([]byte, size*n)
+	e.fill(send)
+	for step := 0; step < e.Cfg.Steps; step++ {
+		start := c.Wtime()
+		if err := c.Alltoall(send, recv); err != nil {
+			return err
+		}
+		e.Record(OpCollective, -1, step, size*n, start)
+		c.Compute(e.Cfg.Compute)
+		e.Record(OpStep, -1, step, size*n, start)
+	}
+	return c.Barrier()
+}
+
+// allreduceLoop models a data-parallel training step: compute the local
+// gradient, then allreduce it. The collective is the SLO op.
+func allreduceLoop(e *Env) error {
+	c := e.C
+	elems := e.Cfg.Bytes / 8
+	if elems < 1 {
+		elems = 1
+	}
+	grad := make([]float64, elems)
+	for i := range grad {
+		grad[i] = e.RNG.Float64()
+	}
+	for step := 0; step < e.Cfg.Steps; step++ {
+		start := c.Wtime()
+		c.Compute(e.Cfg.Compute)
+		xs := c.Wtime()
+		if _, err := c.AllreduceFloat64(mpi.SumFloat64, grad); err != nil {
+			return err
+		}
+		e.Record(OpCollective, -1, step, elems*8, xs)
+		e.Record(OpStep, -1, step, elems*8, start)
+	}
+	return c.Barrier()
+}
+
+// rpcFanIn drives many clients against a single server (rank 0). Clients
+// are open-loop: request i is issued at its generated arrival instant
+// whether or not earlier replies are back, so queueing delay lands in the
+// recorded latency (OpRequest Dur spans arrival to reply). The server
+// probes AnySource, charges the service time, and replies in arrival
+// order; non-overtaking on the (server, client, tag) triple lets clients
+// harvest replies in issue order.
+func rpcFanIn(e *Env) error {
+	c := e.C
+	size := c.Size()
+	if size < 2 {
+		return fmt.Errorf("workload rpc: needs at least 2 ranks, have %d", size)
+	}
+	const server = 0
+	n := e.Cfg.Bytes
+	if c.Rank() == server {
+		total := e.Cfg.Steps * (size - 1)
+		reply := make([]byte, n)
+		e.fill(reply)
+		var pend []*mpi.Request
+		for k := 0; k < total; k++ {
+			st, err := c.Probe(mpi.AnySource, mpi.AnyTag)
+			if err != nil {
+				return err
+			}
+			start := c.Wtime()
+			buf := make([]byte, st.Count)
+			if _, err := c.Recv(st.Source, st.Tag, buf); err != nil {
+				return err
+			}
+			c.Compute(e.Cfg.Compute)
+			r, err := c.Isend(st.Source, st.Tag, reply)
+			if err != nil {
+				return err
+			}
+			pend = append(pend, r)
+			e.Record(OpServe, st.Source, st.Tag, st.Count, start)
+		}
+		if _, err := mpi.WaitAll(pend...); err != nil {
+			return err
+		}
+		return nil
+	}
+	arr, err := NewArrivals(e.Cfg.Arrival, e.Cfg.Rate, e.Cfg.Seed<<20+int64(c.Rank()))
+	if err != nil {
+		return err
+	}
+	req := make([]byte, n)
+	e.fill(req)
+	type inflight struct {
+		r       *mpi.Request
+		arrival time.Duration
+		tag     int
+	}
+	var replies []inflight
+	var sends []*mpi.Request
+	var t time.Duration
+	for i := 0; i < e.Cfg.Steps; i++ {
+		t += arr.Next()
+		if now := c.Wtime(); now < t {
+			c.Compute(t - now) // idle until the open-loop arrival instant
+		}
+		rr, err := c.Irecv(server, i, make([]byte, n))
+		if err != nil {
+			return err
+		}
+		sr, err := c.Isend(server, i, req)
+		if err != nil {
+			return err
+		}
+		replies = append(replies, inflight{rr, t, i})
+		sends = append(sends, sr)
+	}
+	for _, f := range replies {
+		if _, err := f.r.Wait(); err != nil {
+			return err
+		}
+		e.Record(OpRequest, server, f.tag, n, f.arrival)
+	}
+	_, err = mpi.WaitAll(sends...)
+	return err
+}

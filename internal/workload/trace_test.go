@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Cfg: Config{
+			Pattern: "halo", Backend: "cluster/tcp", Ranks: 8, Lanes: 2,
+			Parallel: true, Steps: 20, Bytes: 1024, Seed: 7,
+			Arrival: "bursty", Rate: 1500.5, Compute: 20 * time.Microsecond,
+		},
+		Events: []Event{
+			{T: 1000, Rank: 0, Op: OpExchange, Peer: 1, Tag: 0, Bytes: 1024, Dur: 900},
+			{T: 1000, Rank: 3, Op: OpExchange, Peer: 2, Tag: 0, Bytes: 1024, Dur: 850},
+			{T: 2500, Rank: 1, Op: OpCollective, Peer: -1, Tag: 1, Bytes: 8192, Dur: 1500},
+			{T: 4000, Rank: 2, Op: OpStep, Peer: -1, Tag: 1, Bytes: 4096, Dur: 3000},
+			{T: 9000, Rank: 7, Op: OpRequest, Peer: 0, Tag: 5, Bytes: 64, Dur: 5000},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data := tr.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+	// Canonical: marshaling the decoded trace reproduces the bytes.
+	if again := got.Marshal(); !reflect.DeepEqual(data, again) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+// A trace stamped with a future format version must be rejected with a
+// typed error carrying that version, not misparsed.
+func TestUnmarshalRejectsNewerVersion(t *testing.T) {
+	data := sampleTrace().Marshal()
+	binary.LittleEndian.PutUint16(data[4:6], Version+1)
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	_, err := Unmarshal(data)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FormatError, got %v", err)
+	}
+	if fe.Version != Version+1 {
+		t.Fatalf("want rejected version %d reported, got %d (%v)", Version+1, fe.Version, fe)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     []byte("MPW"),
+		"bad magic": append([]byte("NOPE"), make([]byte, 32)...),
+	}
+	data := sampleTrace().Marshal()
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bit flip"] = flipped
+	cases["truncated"] = data[:len(data)-9]
+	for name, b := range cases {
+		var fe *FormatError
+		if _, err := Unmarshal(b); !errors.As(err, &fe) {
+			t.Errorf("%s: want *FormatError, got %v", name, err)
+		}
+	}
+}
+
+// Diff reports the first divergent event with its rank/time/op context.
+func TestDiffReportsFirstDivergence(t *testing.T) {
+	base := sampleTrace()
+	perturbed, err := Unmarshal(base.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed.Events[3].Dur += 7 // a one-event perturbation
+
+	div := Diff(perturbed, base)
+	if div == nil {
+		t.Fatal("perturbation not detected")
+	}
+	if div.Index != 3 {
+		t.Fatalf("first divergence at index %d, want 3", div.Index)
+	}
+	want := perturbed.Events[3]
+	if int32(div.Rank) != want.Rank || int64(div.T) != want.T || div.Op != want.Op {
+		t.Fatalf("context %+v does not cite the perturbed event %v", div, want)
+	}
+	if div.Want == nil || div.Got == nil || *div.Want == *div.Got {
+		t.Fatalf("divergence should carry both events: %v", div)
+	}
+
+	if d := Diff(base, base); d != nil {
+		t.Fatalf("identical traces reported divergent: %v", d)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	base := sampleTrace()
+	short := &Trace{Cfg: base.Cfg, Events: base.Events[:3]}
+
+	if div := Diff(base, short); div == nil || div.Index != 3 || div.Got != nil {
+		t.Fatalf("missing tail not reported: %v", div)
+	}
+	if div := Diff(short, base); div == nil || div.Index != 3 || div.Want != nil {
+		t.Fatalf("extra tail not reported: %v", div)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/workload"
 	"repro/mpi"
 )
 
@@ -76,6 +77,12 @@ type Spec struct {
 	// reroutes deterministically around the dead plane, so runs stay
 	// bit-reproducible without the cluster fault layer's RNG.
 	TreeFaults string
+
+	// Workload names a registered macro-workload pattern
+	// (internal/workload.Names) the caller intends to drive on the world.
+	// Build validates the name against the pattern registry; running the
+	// workload itself is the caller's job (workload.Run / workload.Replay).
+	Workload string
 }
 
 // HasFaults reports whether any fault-injection knob is set.
@@ -168,6 +175,12 @@ func Build(s Spec) (*mpi.World, error) {
 	}
 	if s.TreeFaults != "" && s.Platform != "meiko" {
 		return nil, fmt.Errorf("backend %q: switch-plane faults exist only on the meiko fat tree", s.Key())
+	}
+	if s.Workload != "" {
+		if _, ok := workload.Lookup(s.Workload); !ok {
+			return nil, fmt.Errorf("backend %q: unknown workload %q (registered: %s)",
+				s.Key(), s.Workload, strings.Join(workload.Names(), ", "))
+		}
 	}
 	w, err := b(s)
 	if err != nil {
